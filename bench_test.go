@@ -1,0 +1,292 @@
+// Package repro's benchmark harness regenerates every table and figure of
+// the paper's evaluation (run `go test -bench=. -benchmem`):
+//
+//	BenchmarkFigure1 .. BenchmarkFigure5   — the five evaluation figures
+//	BenchmarkTable1 .. BenchmarkTable3     — the three evaluation tables
+//	BenchmarkOverhead                      — §4.2 overhead assessment
+//	BenchmarkVeryLargePages                — §4.4 1 GB pages
+//
+// Each reports headline reproduction numbers as custom metrics (e.g.
+// CG.D's THP degradation) alongside the usual ns/op. Ablation benchmarks
+// exercise the design decisions called out in DESIGN.md, and
+// micro-benchmarks cover the simulator's hot paths.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/carrefour"
+	"repro/internal/core"
+	"repro/internal/ibs"
+	"repro/internal/mem"
+	"repro/internal/policy"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/thp"
+	"repro/internal/tlb"
+	"repro/internal/topo"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+	"repro/lpnuma"
+)
+
+// benchScale shortens simulated runs so the full harness finishes in
+// minutes; relative improvements are preserved.
+const benchScale = 0.10
+
+func benchCfg() lpnuma.ExperimentConfig {
+	return lpnuma.ExperimentConfig{Seed: 1, WorkScale: benchScale}
+}
+
+// runExperiment regenerates one experiment per iteration and surfaces the
+// chosen metrics on the benchmark output.
+func runExperiment(b *testing.B, id string, metrics map[string]string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := lpnuma.RunExperiment(id, benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for label, key := range metrics {
+			if v, ok := res.Values[key]; ok {
+				b.ReportMetric(v, label)
+			}
+		}
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	runExperiment(b, "fig1", map[string]string{
+		"CG.D-B-THP-impr%": "B/CG.D/THP/improvement",
+		"WC-B-THP-impr%":   "B/WC/THP/improvement",
+	})
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	runExperiment(b, "fig2", map[string]string{
+		"SSCA-A-Carr2M-impr%": "A/SSCA.20/Carrefour2M/improvement",
+		"UA.B-B-Carr2M-impr%": "B/UA.B/Carrefour2M/improvement",
+	})
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	runExperiment(b, "fig3", map[string]string{
+		"CG.D-B-LP-impr%": "B/CG.D/CarrefourLP/improvement",
+		"UA.B-A-LP-impr%": "A/UA.B/CarrefourLP/improvement",
+	})
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	runExperiment(b, "fig4", map[string]string{
+		"CG.D-B-Reactive-impr%":     "B/CG.D/Reactive/improvement",
+		"CG.D-B-Conservative-impr%": "B/CG.D/Conservative/improvement",
+	})
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	runExperiment(b, "fig5", map[string]string{
+		"WC-B-THP-impr%": "B/WC/THP/improvement",
+		"pca-B-LP-impr%": "B/pca/CarrefourLP/improvement",
+	})
+}
+
+func BenchmarkTable1(b *testing.B) {
+	runExperiment(b, "table1", map[string]string{
+		"CG.D-B-THP-imbalance": "B/CG.D/THP/imbalance",
+		"WC-B-4K-fault%":       "B/WC/Linux4K/faultshare",
+	})
+}
+
+func BenchmarkTable2(b *testing.B) {
+	runExperiment(b, "table2", map[string]string{
+		"CG.D-A-THP-NHP":  "A/CG.D/THP/nhp",
+		"UA.B-A-THP-PSP%": "A/UA.B/THP/psp",
+		"UA.B-A-4K-PSP%":  "A/UA.B/Linux4K/psp",
+	})
+}
+
+func BenchmarkTable3(b *testing.B) {
+	runExperiment(b, "table3", map[string]string{
+		"UA.B-A-LP-LAR%":       "A/UA.B/CarrefourLP/lar",
+		"CG.D-B-LP-imbalance%": "B/CG.D/CarrefourLP/imbalance",
+	})
+}
+
+func BenchmarkOverhead(b *testing.B) {
+	runExperiment(b, "overhead", map[string]string{
+		"mean-vs-Carr2M%": "summary/overhead-mean-vs-Carrefour2M",
+	})
+}
+
+func BenchmarkVeryLargePages(b *testing.B) {
+	runExperiment(b, "verylarge", map[string]string{
+		"SSCA-1G-slowdown":          "A/SSCA.20/1g-slowdown",
+		"streamcluster-1G-slowdown": "A/streamcluster/1g-slowdown",
+	})
+}
+
+// --- Ablations (DESIGN.md §4) ---
+
+// lpVariant runs Carrefour-LP with a custom configuration.
+type lpVariant struct {
+	cfg core.Config
+	thp *thp.THP
+	lp  *core.LP
+}
+
+func (v *lpVariant) Name() string { return "LP-variant" }
+func (v *lpVariant) Setup(env *sim.Env) {
+	v.thp = thp.New(env.Space, thp.DefaultConfig(), env.Costs)
+	env.THP = v.thp
+	v.lp = core.New(v.cfg, carrefour.New(carrefour.DefaultConfig()))
+	v.lp.Bind(v.thp)
+}
+func (v *lpVariant) Tick(env *sim.Env, now float64) float64 {
+	return v.thp.RunPromotionPass() + v.lp.MaybeTick(env, now)
+}
+
+// BenchmarkAblationSplitGranularity compares the paper's
+// split-all-shared-pages rule against splitting only hot pages, on the
+// false-sharing victim UA.B (machine B). The paper's choice exists
+// because per-page LAR estimates are too noisy to pick victims (§3.2.1).
+func BenchmarkAblationSplitGranularity(b *testing.B) {
+	spec, err := workloads.ByName("UA.B")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(shared bool) float64 {
+		cfg := sim.DefaultConfig()
+		cfg.WorkScale = benchScale
+		lpCfg := core.DefaultConfig()
+		lpCfg.SharedSplitEnabled = shared
+		eng, err := sim.New(topo.MachineB(), spec, &lpVariant{cfg: lpCfg}, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return eng.Run().RuntimeSeconds
+	}
+	for i := 0; i < b.N; i++ {
+		all := run(true)
+		hotOnly := run(false)
+		b.ReportMetric(all, "split-all-s")
+		b.ReportMetric(hotOnly, "hot-only-s")
+		b.ReportMetric((hotOnly/all-1)*100, "hot-only-penalty%")
+	}
+}
+
+// BenchmarkAblationIBSBuffers compares per-node IBS buffers (the paper's
+// §4.3 scalability fix) against a single centralized buffer, at the
+// drain-side cost level.
+func BenchmarkAblationIBSBuffers(b *testing.B) {
+	mk := func(nodes int) *ibs.Sampler {
+		s := ibs.NewSampler(ibs.DefaultConfig(), nodes)
+		for i := 0; i < 100000; i++ {
+			s.Record(ibs.Sample{AccessorNode: topo.NodeID(i % nodes), DRAM: true, Weight: 1})
+		}
+		return s
+	}
+	b.Run("per-node-8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			s := mk(8)
+			b.StartTimer()
+			if got := len(s.Drain()); got != 100000 {
+				b.Fatal(got)
+			}
+		}
+	})
+	b.Run("centralized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			s := mk(1)
+			b.StartTimer()
+			if got := len(s.Drain()); got != 100000 {
+				b.Fatal(got)
+			}
+		}
+	})
+}
+
+// --- Micro-benchmarks on simulator hot paths ---
+
+func BenchmarkVMAccess(b *testing.B) {
+	m := topo.MachineB()
+	phys := mem.NewSystem(m, mem.LatencyParamsFor(m.Name))
+	space := vm.NewAddrSpace(m, phys, vm.DefaultFaultParams())
+	space.AllocSize = func(*vm.Region, int) mem.PageSize { return mem.Size2M }
+	r := space.Mmap("bench", 256<<20, true)
+	rng := stats.NewRng(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := uint64(rng.Int63n(256 << 20))
+		r.Access(topo.CoreID(i%64), i%64, off)
+	}
+}
+
+func BenchmarkTLBAssess(b *testing.B) {
+	model := tlb.NewModel(tlb.DefaultConfig())
+	segs := []tlb.Segment{
+		{Weight: 0.4, Pages: 100000, Size: mem.Size4K},
+		{Weight: 0.3, Pages: 2048, Size: mem.Size4K},
+		{Weight: 0.2, Pages: 800, Size: mem.Size2M},
+		{Weight: 0.1, Pages: 120000, Size: mem.Size4K, Sequential: true},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.Assess(segs)
+	}
+}
+
+func BenchmarkSteadyAccessGeneration(b *testing.B) {
+	m := topo.MachineB()
+	phys := mem.NewSystem(m, mem.LatencyParamsFor(m.Name))
+	space := vm.NewAddrSpace(m, phys, vm.DefaultFaultParams())
+	spec, err := workloads.ByName("CG.D")
+	if err != nil {
+		b.Fatal(err)
+	}
+	in, err := workloads.Build(spec, space, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewRng(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.NextSteady(i%64, rng)
+	}
+}
+
+func BenchmarkGroupSamples(b *testing.B) {
+	m := topo.MachineA()
+	phys := mem.NewSystem(m, mem.LatencyParamsFor(m.Name))
+	space := vm.NewAddrSpace(m, phys, vm.DefaultFaultParams())
+	r := space.Mmap("bench", 64<<20, true)
+	rng := stats.NewRng(1)
+	samples := make([]ibs.Sample, 50000)
+	for i := range samples {
+		samples[i] = ibs.Sample{
+			Page:         vm.PageID{Region: r, Chunk: rng.Intn(32), Sub: -1},
+			AccessorNode: topo.NodeID(rng.Intn(4)),
+			DRAM:         true, Weight: 1,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		carrefour.GroupSamples(samples, 4)
+	}
+}
+
+func BenchmarkSingleRunCGD(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	cfg.WorkScale = benchScale
+	for i := 0; i < b.N; i++ {
+		res, err := runner.Run(runner.Request{Machine: "B", Workload: "CG.D", Policy: "CarrefourLP", Seed: 1, Cfg: &cfg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.RuntimeSeconds, "sim-s")
+	}
+}
+
+var _ = policy.Names // ensure the policy package stays linked in the harness

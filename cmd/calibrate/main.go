@@ -1,0 +1,72 @@
+// Command calibrate runs selected benchmarks under selected policies and
+// prints the paper's Table-1-style metrics, used to tune the workload
+// parameterization against the published numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		machines = flag.String("machines", "A,B", "comma-separated machines")
+		wls      = flag.String("workloads", "CG.D,UA.B,WC,SSCA.20,SPECjbb", "comma-separated benchmarks (or 'all')")
+		pols     = flag.String("policies", "Linux4K,THP", "comma-separated policies")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+	ms := strings.Split(*machines, ",")
+	var ws []string
+	if *wls == "all" {
+		for _, s := range workloads.Suite() {
+			ws = append(ws, s.Name)
+		}
+	} else {
+		ws = strings.Split(*wls, ",")
+	}
+	ps := strings.Split(*pols, ",")
+
+	start := time.Now()
+	res, err := runner.Sweep(ms, ws, ps, *seed, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%d runs in %v\n\n", len(res), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("%-16s %-2s %-12s %8s %7s %7s %7s %7s %7s %6s %6s %7s %9s %6s\n",
+		"workload", "M", "policy", "runtime", "impr%", "LAR", "imbal", "PTW%", "fault%", "PAMUP", "NHP", "PSP", "faultSec", "epochs")
+	for _, m := range ms {
+		for _, w := range ws {
+			var base sim.Result
+			if b, ok := res[runner.Key{Machine: m, Workload: w, Policy: "Linux4K"}]; ok {
+				base = b
+			}
+			for _, p := range ps {
+				r, ok := res[runner.Key{Machine: m, Workload: w, Policy: p}]
+				if !ok {
+					continue
+				}
+				impr := 0.0
+				if base.RuntimeSeconds > 0 {
+					impr = runner.ImprovementPct(base, r)
+				}
+				to := ""
+				if r.TimedOut {
+					to = " TIMEOUT"
+				}
+				fmt.Printf("%-16s %-2s %-12s %7.2fs %+7.1f %6.1f%% %6.1f%% %6.1f%% %6.1f%% %5.1f%% %6d %6.1f%% %8.2fs %6d%s\n",
+					w, m, p, r.RuntimeSeconds, impr, r.LARPct, r.ImbalancePct,
+					r.PTWSharePct, r.MaxFaultSharePct, r.PageMetrics.PAMUPPct,
+					r.PageMetrics.NHP, r.PageMetrics.PSPPct, r.MaxCoreFaultSeconds, r.Epochs, to)
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Command lpnuma regenerates the paper's experiments and runs individual
+// simulations.
+//
+// Usage:
+//
+//	lpnuma list                         # benchmarks, policies, experiments
+//	lpnuma run -m A -w CG.D -p THP      # one simulation, metrics to stdout
+//	lpnuma experiment fig1 [-scale 0.3] # regenerate a figure or table
+//	lpnuma all [-scale 0.3]             # regenerate everything (EXPERIMENTS.md source)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/lpnuma"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		fmt.Println("benchmarks:", strings.Join(lpnuma.Workloads(), " "))
+		fmt.Println("policies:  ", strings.Join(lpnuma.Policies(), " "))
+		fmt.Println("experiments:", strings.Join(lpnuma.Experiments(), " "))
+	case "run":
+		runOne(os.Args[2:])
+	case "experiment":
+		if len(os.Args) < 3 {
+			fmt.Fprintln(os.Stderr, "experiment requires an id; see `lpnuma list`")
+			os.Exit(2)
+		}
+		runExperiments(os.Args[3:], os.Args[2])
+	case "all":
+		runExperiments(os.Args[2:], lpnuma.Experiments()...)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: lpnuma {list|run|experiment <id>|all} [flags]")
+}
+
+func runOne(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	machine := fs.String("m", "A", "machine (A or B)")
+	workload := fs.String("w", "CG.D", "benchmark name")
+	pol := fs.String("p", "THP", "policy name")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	fs.Parse(args)
+	start := time.Now()
+	res, err := lpnuma.Run(lpnuma.Request{Machine: *machine, Workload: *workload, Policy: *pol, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s on machine %s under %s (simulated in %v)\n", res.Workload, res.Machine, res.Policy, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  runtime      %.2fs (%d epochs)\n", res.RuntimeSeconds, res.Epochs)
+	fmt.Printf("  LAR          %.1f%%\n", res.LARPct)
+	fmt.Printf("  imbalance    %.1f%%\n", res.ImbalancePct)
+	fmt.Printf("  L2-PTW share %.1f%%\n", res.PTWSharePct)
+	fmt.Printf("  fault time   %.0fms max-core (%.1f%% of run)\n", res.MaxCoreFaultSeconds*1000, res.MaxFaultSharePct)
+	fmt.Printf("  PAMUP %.1f%%  NHP %d  PSP %.1f%%\n", res.PageMetrics.PAMUPPct, res.PageMetrics.NHP, res.PageMetrics.PSPPct)
+	fmt.Printf("  faults: %d×4K %d×2M %d×1G; IBS samples %d\n", res.FaultCounts[0], res.FaultCounts[1], res.FaultCounts[2], res.IBSSamplesTaken)
+	if res.TimedOut {
+		fmt.Println("  WARNING: simulation hit the time cap before completing")
+	}
+}
+
+func runExperiments(args []string, ids ...string) {
+	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	scale := fs.Float64("scale", 1.0, "work scale (<1 for quicker, noisier passes)")
+	fs.Parse(args)
+	cfg := lpnuma.ExperimentConfig{Seed: *seed, WorkScale: *scale}
+	for _, id := range ids {
+		start := time.Now()
+		res, err := lpnuma.RunExperiment(id, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (regenerated in %v) ===\n\n%s\n", res.ID, time.Since(start).Round(time.Millisecond), res.Text)
+	}
+}

@@ -1,0 +1,54 @@
+// Command probe dumps per-node controller state for one run (diagnostics).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/policy"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+func main() {
+	m, _ := runner.MachineByName(os.Args[1])
+	spec, _ := workloads.ByName(os.Args[2])
+	pol, _ := policy.ByName(os.Args[3])
+	cfg := sim.DefaultConfig()
+	eng, err := sim.New(m, spec, pol, cfg)
+	if err != nil {
+		panic(err)
+	}
+	res := eng.Run()
+	env := eng.Env()
+	tot := env.Phys.TotalRequests()
+	sum := 0.0
+	for _, v := range tot {
+		sum += v
+	}
+	fmt.Printf("%s %s: runtime %.2fs imbalance %.1f%% LAR %.1f%%\n", res.Workload, res.Policy, res.RuntimeSeconds, res.ImbalancePct, res.LARPct)
+	for n := 0; n < m.Nodes; n++ {
+		fmt.Printf("  node %d: reqShare %5.1f%%  lat %6.1f  util %5.2f\n",
+			n, tot[n]/sum*100, env.Phys.Latency(topo.NodeID(n)), env.Phys.Utilization(topo.NodeID(n)))
+	}
+	for _, br := range eng.Workload().Regions {
+		counts := make(map[topo.NodeID]uint64)
+		var acc uint64
+		br.VM.ForEachPage(func(p vm.PageAccess) {
+			counts[p.Node] += p.Accesses
+			acc += p.Accesses
+		})
+		fmt.Printf("  region %-14s accShare-by-node:", br.Spec.Name)
+		for n := 0; n < m.Nodes; n++ {
+			pct := 0.0
+			if acc > 0 {
+				pct = float64(counts[topo.NodeID(n)]) / float64(acc) * 100
+			}
+			fmt.Printf(" %5.1f", pct)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,47 @@
+// Falsesharing demonstrates the paper's page-level false sharing (§3.1):
+// UA's unstructured mesh gives each thread 1 MB ownership blocks, so a
+// 2 MB page almost always holds two unrelated threads' data. Carrefour
+// can only interleave such pages (destroying locality — its LAR ends up
+// *below* plain THP); Carrefour-LP splits them so each 4 KB page again
+// has a single owner that placement can serve.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/lpnuma"
+)
+
+func main() {
+	const machine, workload = "B", "UA.B"
+	fmt.Printf("Page-level false sharing: %s on machine %s\n\n", workload, machine)
+	fmt.Printf("%-12s %9s %7s %7s %6s\n", "policy", "runtime", "LAR", "PSP", "impr")
+
+	var base lpnuma.Result
+	for _, pol := range []string{
+		lpnuma.PolicyLinux4K, lpnuma.PolicyTHP,
+		lpnuma.PolicyCarrefour2M, lpnuma.PolicyCarrefourLP,
+	} {
+		res, err := lpnuma.Run(lpnuma.Request{Machine: machine, Workload: workload, Policy: pol, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if pol == lpnuma.PolicyLinux4K {
+			base = res
+		}
+		fmt.Printf("%-12s %8.2fs %6.1f%% %6.1f%% %+5.1f%%\n",
+			pol, res.RuntimeSeconds, res.LARPct, res.PageMetrics.PSPPct,
+			lpnuma.ImprovementPct(base, res))
+	}
+
+	fmt.Println(`
+Reading the table:
+  - Under 4 KB pages nearly every page has one owner: PSP is low and the
+    local access ratio is ~90%.
+  - THP's 2 MB pages hold two threads' blocks each: PSP jumps to ~75% and
+    LAR collapses, because a page can only live on one of its owners' nodes.
+  - Carrefour-2M interleaves the shared pages — LAR gets *worse* than THP.
+  - Carrefour-LP splits the falsely shared pages; migration then restores
+    most of the lost locality (the paper's Table 3 shows 61% → 85%).`)
+}

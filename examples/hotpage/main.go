@@ -1,0 +1,46 @@
+// Hotpage demonstrates the paper's hot-page effect (§3.1): under 2 MB
+// pages, CG's small write-shared reduction structures coalesce into fewer
+// hot pages than the machine has NUMA nodes, so no placement can balance
+// the memory controllers — until Carrefour-LP splits the hot pages and
+// interleaves their 4 KB constituents (Algorithm 1, line 19).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/lpnuma"
+)
+
+func main() {
+	const machine, workload = "B", "CG.D"
+	fmt.Printf("Hot-page effect: %s on machine %s\n\n", workload, machine)
+	fmt.Printf("%-12s %9s %7s %7s %7s %6s\n", "policy", "runtime", "imbal", "PAMUP", "NHP", "impr")
+
+	var base lpnuma.Result
+	for _, pol := range []string{
+		lpnuma.PolicyLinux4K, lpnuma.PolicyTHP,
+		lpnuma.PolicyCarrefour2M, lpnuma.PolicyCarrefourLP,
+	} {
+		res, err := lpnuma.Run(lpnuma.Request{Machine: machine, Workload: workload, Policy: pol, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if pol == lpnuma.PolicyLinux4K {
+			base = res
+		}
+		fmt.Printf("%-12s %8.2fs %6.1f%% %6.1f%% %7d %+5.1f%%\n",
+			pol, res.RuntimeSeconds, res.ImbalancePct,
+			res.PageMetrics.PAMUPPct, res.PageMetrics.NHP,
+			lpnuma.ImprovementPct(base, res))
+	}
+
+	fmt.Println(`
+Reading the table:
+  - THP creates NHP=3 hot pages (the coalesced reduction structures) and
+    the controller imbalance explodes; performance drops.
+  - Carrefour-2M cannot fix it: with fewer hot pages than nodes, no
+    migration or interleaving of whole 2 MB pages balances the load.
+  - Carrefour-LP splits the hot pages and interleaves their 4 KB
+    constituents: imbalance collapses and the lost performance returns.`)
+}

@@ -1,0 +1,40 @@
+// Quickstart: run one benchmark under default Linux and under Transparent
+// Huge Pages on the paper's machine A, and report whether large pages
+// helped or hurt — the paper's core observation is that the answer varies
+// wildly per application ("there is no one size fits all", §2.2).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/lpnuma"
+)
+
+func main() {
+	const machine, workload = "A", "CG.D"
+
+	results := map[string]lpnuma.Result{}
+	for _, pol := range []string{lpnuma.PolicyLinux4K, lpnuma.PolicyTHP} {
+		res, err := lpnuma.Run(lpnuma.Request{
+			Machine:  machine,
+			Workload: workload,
+			Policy:   pol,
+			Seed:     1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		results[pol] = res
+		fmt.Printf("%-8s runtime %6.2fs  LAR %5.1f%%  imbalance %6.1f%%  L2-PTW %4.1f%%\n",
+			pol, res.RuntimeSeconds, res.LARPct, res.ImbalancePct, res.PTWSharePct)
+	}
+
+	impr := lpnuma.ImprovementPct(results[lpnuma.PolicyLinux4K], results[lpnuma.PolicyTHP])
+	fmt.Printf("\nTHP performance improvement over Linux on %s/%s: %+.1f%%\n", workload, machine, impr)
+	if impr < 0 {
+		fmt.Println("Large pages hurt this application — see examples/hotpage for why.")
+	} else {
+		fmt.Println("Large pages helped this application.")
+	}
+}

@@ -1,0 +1,183 @@
+// Package cache approximates the core-local cache hierarchy. The simulator
+// does not track individual lines; instead each workload region carries a
+// locality class, and the hierarchy converts (footprint, locality) into
+// per-level hit probabilities. Two outputs matter to the paper:
+//
+//   - the probability that a data access reaches DRAM (this is what loads
+//     memory controllers and interconnect links), and
+//   - the number of L2 misses, which is the denominator of the
+//     "% of L2 misses caused by page-table walks" counter that
+//     Carrefour-LP's conservative component monitors (§3.2.2).
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Locality classifies a region's reference pattern.
+type Locality int
+
+const (
+	// Stream is sequential scanning: high line reuse (one miss per line),
+	// but no cache-resident working set — misses go to DRAM.
+	Stream Locality = iota
+	// RandomUniform touches the region uniformly at random with no
+	// spatial locality (hash tables, random gathers).
+	RandomUniform
+	// ZipfHot concentrates most accesses on a small hot subset of the
+	// region (graph frontiers, shared vectors, Java heaps).
+	ZipfHot
+	// Resident marks small hot structures that essentially live in L1/L2
+	// (reduction scalars, loop-private state).
+	Resident
+)
+
+// String names the locality class.
+func (l Locality) String() string {
+	switch l {
+	case Stream:
+		return "stream"
+	case RandomUniform:
+		return "random"
+	case ZipfHot:
+		return "zipf"
+	case Resident:
+		return "resident"
+	default:
+		return fmt.Sprintf("Locality(%d)", int(l))
+	}
+}
+
+// Hierarchy describes per-core cache capacities and latencies. L1 and L2
+// are private; L3 is shared by the cores of a node, so the effective
+// per-thread L3 share is L3PerNode / coresPerNode.
+type Hierarchy struct {
+	L1Bytes   uint64
+	L2Bytes   uint64
+	L3PerNode uint64
+
+	L1Cycles float64
+	L2Cycles float64
+	L3Cycles float64
+
+	LineBytes uint64
+}
+
+// Default returns the Opteron-era calibration used for both machines.
+func Default() Hierarchy {
+	return Hierarchy{
+		L1Bytes:   64 << 10,
+		L2Bytes:   512 << 10,
+		L3PerNode: 6 << 20,
+		L1Cycles:  3,
+		L2Cycles:  15,
+		L3Cycles:  40,
+		LineBytes: 64,
+	}
+}
+
+// LevelProbs are the probabilities that a single access is served by each
+// level. DRAM probability is the remainder 1-L1-L2-L3.
+type LevelProbs struct {
+	L1, L2, L3 float64
+}
+
+// DRAM returns the probability an access goes to memory.
+func (p LevelProbs) DRAM() float64 {
+	d := 1 - p.L1 - p.L2 - p.L3
+	return stats.Clamp(d, 0, 1)
+}
+
+// L2MissProb returns the probability that an access misses L2 (i.e., is
+// served by L3 or DRAM); these are the events counted as L2 misses.
+func (p LevelProbs) L2MissProb() float64 {
+	return stats.Clamp(1-p.L1-p.L2, 0, 1)
+}
+
+// Profile converts a region's footprint, locality class and hot subset
+// into per-level hit probabilities for one thread. hotFrac (ZipfHot only)
+// is the fraction of the region's bytes that receive hotAccess of its
+// accesses (hotAccess ≤ 0 defaults to 0.9). sharers is the number of
+// threads competing for the shared L3 slice (≥1).
+func (h Hierarchy) Profile(footprint uint64, loc Locality, hotFrac, hotAccess float64, sharers int) LevelProbs {
+	if sharers < 1 {
+		sharers = 1
+	}
+	if hotAccess <= 0 {
+		hotAccess = 0.9
+	}
+	l3 := h.L3PerNode / uint64(sharers)
+	switch loc {
+	case Resident:
+		// Hot structures get near-perfect L1 residency, with a trickle of
+		// L2 traffic for cold starts and write-backs.
+		return LevelProbs{L1: 0.98, L2: 0.019, L3: 0.001}
+	case Stream:
+		// Sequential access: one compulsory miss per line; the within-line
+		// hits stay in L1. The per-line miss goes to DRAM if the region
+		// exceeds L3, which it virtually always does for the streams we
+		// model; small streams are L3-resident after the first pass.
+		elemsPerLine := 8.0 // 64-byte line, 8-byte elements
+		missFrac := 1.0 / elemsPerLine
+		if footprint <= l3 {
+			return LevelProbs{L1: 1 - missFrac, L2: 0, L3: missFrac}
+		}
+		return LevelProbs{L1: 1 - missFrac, L2: 0, L3: 0}
+	case RandomUniform:
+		return h.capacityProbs(footprint, l3)
+	case ZipfHot:
+		hf := stats.Clamp(hotFrac, 0.001, 1)
+		hotBytes := uint64(float64(footprint) * hf)
+		if hotBytes == 0 {
+			hotBytes = 1
+		}
+		hot := h.capacityProbs(hotBytes, l3)
+		cold := h.capacityProbs(footprint, l3)
+		ca := 1 - hotAccess
+		return LevelProbs{
+			L1: hotAccess*hot.L1 + ca*cold.L1,
+			L2: hotAccess*hot.L2 + ca*cold.L2,
+			L3: hotAccess*hot.L3 + ca*cold.L3,
+		}
+	default:
+		panic(fmt.Sprintf("cache: unknown locality %d", int(loc)))
+	}
+}
+
+// capacityProbs implements the classic capacity model for uniform random
+// access over footprint bytes: the probability of hitting at a level is the
+// fraction of the footprint that fits there, minus what already fits in
+// the faster levels.
+func (h Hierarchy) capacityProbs(footprint uint64, l3 uint64) LevelProbs {
+	if footprint == 0 {
+		footprint = 1
+	}
+	cover := func(capacity uint64) float64 {
+		return stats.Clamp(float64(capacity)/float64(footprint), 0, 1)
+	}
+	c1 := cover(h.L1Bytes)
+	c2 := cover(h.L2Bytes)
+	c3 := cover(l3)
+	return LevelProbs{
+		L1: c1,
+		L2: stats.Clamp(c2-c1, 0, 1),
+		L3: stats.Clamp(c3-c2, 0, 1),
+	}
+}
+
+// HitLatency returns the cycles for an access served at the given cache
+// level index (0=L1, 1=L2, 2=L3).
+func (h Hierarchy) HitLatency(level int) float64 {
+	switch level {
+	case 0:
+		return h.L1Cycles
+	case 1:
+		return h.L2Cycles
+	case 2:
+		return h.L3Cycles
+	default:
+		panic(fmt.Sprintf("cache: invalid level %d", level))
+	}
+}

@@ -1,0 +1,132 @@
+package cache
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestProbsSumToOne(t *testing.T) {
+	h := Default()
+	for _, loc := range []Locality{Stream, RandomUniform, ZipfHot, Resident} {
+		p := h.Profile(1<<30, loc, 0.05, 0, 6)
+		sum := p.L1 + p.L2 + p.L3 + p.DRAM()
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("%v: probabilities sum to %v", loc, sum)
+		}
+	}
+}
+
+func TestResidentRarelyMisses(t *testing.T) {
+	h := Default()
+	p := h.Profile(4<<10, Resident, 0, 0, 1)
+	if p.DRAM() > 0.01 {
+		t.Fatalf("resident region DRAM prob = %v", p.DRAM())
+	}
+	if p.L1 < 0.9 {
+		t.Fatalf("resident region L1 prob = %v", p.L1)
+	}
+}
+
+func TestSmallRandomRegionFitsCaches(t *testing.T) {
+	h := Default()
+	p := h.Profile(32<<10, RandomUniform, 0, 0, 1)
+	if p.DRAM() > 1e-9 {
+		t.Fatalf("32 KB random region should never reach DRAM, got %v", p.DRAM())
+	}
+	if p.L1 < 0.9 {
+		t.Fatalf("32 KB region should be mostly L1, got %v", p.L1)
+	}
+}
+
+func TestHugeRandomRegionMostlyDRAM(t *testing.T) {
+	h := Default()
+	p := h.Profile(4<<30, RandomUniform, 0, 0, 6)
+	if p.DRAM() < 0.95 {
+		t.Fatalf("4 GB random region DRAM prob = %v, want >0.95", p.DRAM())
+	}
+}
+
+func TestDRAMProbMonotoneInFootprint(t *testing.T) {
+	h := Default()
+	if err := quick.Check(func(a, b uint32) bool {
+		lo, hi := uint64(a)+1, uint64(b)+1
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		pl := h.Profile(lo, RandomUniform, 0, 0, 4)
+		ph := h.Profile(hi, RandomUniform, 0, 0, 4)
+		return pl.DRAM() <= ph.DRAM()+1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamLineReuse(t *testing.T) {
+	h := Default()
+	p := h.Profile(8<<30, Stream, 0, 0, 6)
+	// 7 of 8 elements on a line hit L1; the per-line miss goes to DRAM.
+	if math.Abs(p.L1-0.875) > 1e-9 {
+		t.Fatalf("stream L1 prob = %v, want 0.875", p.L1)
+	}
+	if math.Abs(p.DRAM()-0.125) > 1e-9 {
+		t.Fatalf("stream DRAM prob = %v, want 0.125", p.DRAM())
+	}
+	// A small stream is L3-resident after the first pass.
+	ps := h.Profile(512<<10, Stream, 0, 0, 1)
+	if ps.DRAM() > 1e-9 {
+		t.Fatalf("small stream should not reach DRAM, got %v", ps.DRAM())
+	}
+}
+
+func TestZipfHotBetweenHotAndCold(t *testing.T) {
+	h := Default()
+	z := h.Profile(1<<30, ZipfHot, 0.001, 0, 6)
+	u := h.Profile(1<<30, RandomUniform, 0, 0, 6)
+	// Concentrating accesses on 0.1% of a 1 GB region (≈1 MB hot set)
+	// must reduce DRAM traffic versus uniform access.
+	if z.DRAM() >= u.DRAM() {
+		t.Fatalf("zipf DRAM %v not below uniform %v", z.DRAM(), u.DRAM())
+	}
+}
+
+func TestMoreSharersMoreMisses(t *testing.T) {
+	h := Default()
+	solo := h.Profile(4<<20, RandomUniform, 0, 0, 1)
+	crowd := h.Profile(4<<20, RandomUniform, 0, 0, 8)
+	if crowd.DRAM() < solo.DRAM() {
+		t.Fatalf("sharing L3 should not reduce DRAM prob: solo %v crowd %v", solo.DRAM(), crowd.DRAM())
+	}
+}
+
+func TestL2MissProb(t *testing.T) {
+	p := LevelProbs{L1: 0.5, L2: 0.3, L3: 0.1}
+	if math.Abs(p.L2MissProb()-0.2) > 1e-9 {
+		t.Fatalf("L2MissProb = %v, want 0.2", p.L2MissProb())
+	}
+}
+
+func TestHitLatencyOrdering(t *testing.T) {
+	h := Default()
+	if !(h.HitLatency(0) < h.HitLatency(1) && h.HitLatency(1) < h.HitLatency(2)) {
+		t.Fatal("cache latencies must increase with level")
+	}
+}
+
+func TestHitLatencyPanicsOnBadLevel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Default().HitLatency(3)
+}
+
+func TestLocalityString(t *testing.T) {
+	names := map[Locality]string{Stream: "stream", RandomUniform: "random", ZipfHot: "zipf", Resident: "resident"}
+	for loc, want := range names {
+		if loc.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", int(loc), loc.String(), want)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+// Package carrefour implements the NUMA-aware page placement algorithm of
+// Dashti et al. [ASPLOS'13] as the paper uses it (§3.1): IBS samples are
+// gathered per page; a page whose samples all come from one node is
+// migrated to that node, and a page accessed from multiple nodes is
+// interleaved (migrated to a random node). Global thresholds on hardware
+// counters gate the whole mechanism so that applications without NUMA
+// problems are left alone.
+//
+// The same placement pass runs at whatever granularity pages currently
+// have — 2 MB chunks under THP ("Carrefour-2M"), 4 KB pages otherwise —
+// which is exactly why it cannot fix the hot-page effect or page-level
+// false sharing without the large-page extensions of package core.
+package carrefour
+
+import (
+	"sort"
+
+	"repro/internal/ibs"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/vm"
+)
+
+// Config tunes the daemon.
+type Config struct {
+	// IntervalSeconds is the decision period (1 s in the paper).
+	IntervalSeconds float64
+	// MinSamplesPerPage is the minimum evidence before acting on a page.
+	MinSamplesPerPage int
+	// MemIntensityMin gates the whole daemon: below this DRAM-accesses-
+	// per-access ratio the application is not memory-bound and Carrefour
+	// stays off.
+	MemIntensityMin float64
+	// ImbalanceTriggerPct and LARTriggerPct: Carrefour engages when
+	// controller imbalance exceeds the former or LAR falls below the
+	// latter.
+	ImbalanceTriggerPct float64
+	LARTriggerPct       float64
+	// MaxOpsPerInterval bounds page operations per pass.
+	MaxOpsPerInterval int
+	// CyclesPerSample is the bookkeeping cost of processing one sample.
+	CyclesPerSample float64
+	// PassCycles is the fixed cost of one daemon pass.
+	PassCycles float64
+}
+
+// DefaultConfig returns the calibration used in the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		IntervalSeconds:     1.0,
+		MinSamplesPerPage:   2,
+		MemIntensityMin:     0.002,
+		ImbalanceTriggerPct: 35,
+		LARTriggerPct:       80,
+		MaxOpsPerInterval:   8192,
+		CyclesPerSample:     60,
+		PassCycles:          200000,
+	}
+}
+
+// pageKey identifies a page across intervals.
+type pageKey struct {
+	region int
+	chunk  int
+	sub    int
+}
+
+// Carrefour is the daemon state.
+type Carrefour struct {
+	Cfg Config
+
+	lastTick float64
+	prev     sim.Snapshot
+	havePrev bool
+
+	interleaved map[pageKey]bool
+
+	migrations  uint64
+	interleaves uint64
+	activations uint64
+}
+
+// New builds a daemon.
+func New(cfg Config) *Carrefour {
+	return &Carrefour{Cfg: cfg, interleaved: make(map[pageKey]bool), lastTick: -1e18}
+}
+
+// Stats reports cumulative operation counts.
+func (c *Carrefour) Stats() (migrations, interleaves, activations uint64) {
+	return c.migrations, c.interleaves, c.activations
+}
+
+// MaybeTick runs one decision interval if due and returns overhead cycles.
+func (c *Carrefour) MaybeTick(env *sim.Env, now float64) float64 {
+	if now-c.lastTick < c.Cfg.IntervalSeconds {
+		return 0
+	}
+	c.lastTick = now
+	snap := env.Snapshot()
+	samples := env.Sampler.Drain()
+	var w sim.WindowMetrics
+	if c.havePrev {
+		w = sim.Window(c.prev, snap)
+	} else {
+		w = sim.Window(sim.Snapshot{FaultCycles: make([]float64, len(snap.FaultCycles))}, snap)
+	}
+	c.prev = snap
+	c.havePrev = true
+
+	overhead := c.Cfg.PassCycles + float64(len(samples))*c.Cfg.CyclesPerSample
+	if w.MemIntensity < c.Cfg.MemIntensityMin {
+		return overhead
+	}
+	if w.ImbalancePct < c.Cfg.ImbalanceTriggerPct && w.LARPct > c.Cfg.LARTriggerPct {
+		return overhead
+	}
+	c.activations++
+	overhead += c.Apply(env, samples)
+	return overhead
+}
+
+// Apply performs one placement pass over the given samples (Carrefour-LP
+// calls this directly as Algorithm 1's line 20). It returns the cycles
+// spent migrating.
+func (c *Carrefour) Apply(env *sim.Env, samples []ibs.Sample) float64 {
+	groups := GroupSamples(samples, env.Machine.Nodes)
+	var cycles float64
+	ops := 0
+	for i := range groups {
+		if ops >= c.Cfg.MaxOpsPerInterval {
+			break
+		}
+		g := &groups[i]
+		if g.Count < c.Cfg.MinSamplesPerPage {
+			continue
+		}
+		key := pageKey{g.Page.Region.ID, g.Page.Chunk, g.Page.Sub}
+		if single, node := g.SingleNode(); single {
+			cyc, moved := migrate(g.Page, node, env)
+			cycles += cyc
+			if moved {
+				c.migrations++
+				ops++
+				delete(c.interleaved, key)
+			}
+			continue
+		}
+		// Multi-node page: interleave by moving to a random node, once.
+		if c.interleaved[key] {
+			continue
+		}
+		to := topo.NodeID(env.Rng.Intn(env.Machine.Nodes))
+		cyc, moved := migrate(g.Page, to, env)
+		cycles += cyc
+		if moved || currentNode(g.Page) == to {
+			c.interleaved[key] = true
+			c.interleaves++
+			ops++
+		}
+	}
+	return cycles
+}
+
+// migrate moves one page (chunk or sub) to node, skipping pages whose
+// granularity changed since sampling.
+func migrate(p vm.PageID, to topo.NodeID, env *sim.Env) (float64, bool) {
+	info := p.Region.ChunkInfo(p.Chunk)
+	if p.Sub < 0 {
+		if info.State != vm.Mapped2M {
+			return 0, false
+		}
+		return p.Region.MigrateChunk(p.Chunk, to, env.Costs)
+	}
+	if info.State != vm.Mapped4K {
+		return 0, false
+	}
+	return p.Region.MigrateSub(p.Chunk, p.Sub, to, env.Costs)
+}
+
+func currentNode(p vm.PageID) topo.NodeID {
+	info := p.Region.ChunkInfo(p.Chunk)
+	if p.Sub >= 0 {
+		if n, ok := p.Region.SubNode(p.Chunk, p.Sub); ok {
+			return n
+		}
+	}
+	return info.Node
+}
+
+// PageGroup aggregates the DRAM-serviced samples of one page.
+type PageGroup struct {
+	Page   vm.PageID
+	Count  int
+	Weight float64
+	// NodeWeight is the sampled access weight per accessor node.
+	NodeWeight []float64
+	// ThreadMask records which threads were seen (64 max).
+	ThreadMask uint64
+	// LocalWeight is the weight of samples served node-locally.
+	LocalWeight float64
+}
+
+// SingleNode reports whether all samples came from one accessor node.
+func (g *PageGroup) SingleNode() (bool, topo.NodeID) {
+	seen := -1
+	for n, w := range g.NodeWeight {
+		if w > 0 {
+			if seen >= 0 {
+				return false, 0
+			}
+			seen = n
+		}
+	}
+	if seen < 0 {
+		return false, 0
+	}
+	return true, topo.NodeID(seen)
+}
+
+// Threads counts distinct sampled threads.
+func (g *PageGroup) Threads() int {
+	n := 0
+	for m := g.ThreadMask; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// GroupSamples buckets DRAM-serviced samples by page, in a deterministic
+// order (region, chunk, sub). Only DRAM samples are considered, so that
+// decisions "are not affected by pages that are easily cached" (§3.2.1).
+func GroupSamples(samples []ibs.Sample, nodes int) []PageGroup {
+	idx := make(map[pageKey]int, len(samples))
+	var groups []PageGroup
+	for _, s := range samples {
+		if !s.DRAM {
+			continue
+		}
+		w := s.Weight
+		if w <= 0 {
+			w = 1
+		}
+		key := pageKey{s.Page.Region.ID, s.Page.Chunk, s.Page.Sub}
+		i, ok := idx[key]
+		if !ok {
+			i = len(groups)
+			idx[key] = i
+			groups = append(groups, PageGroup{Page: s.Page, NodeWeight: make([]float64, nodes)})
+		}
+		g := &groups[i]
+		g.Count++
+		g.Weight += w
+		g.NodeWeight[s.AccessorNode] += w
+		g.ThreadMask |= 1 << uint(s.Thread%64)
+		if s.Local() {
+			g.LocalWeight += w
+		}
+	}
+	sort.Slice(groups, func(a, b int) bool {
+		ga, gb := groups[a], groups[b]
+		if ga.Page.Region.ID != gb.Page.Region.ID {
+			return ga.Page.Region.ID < gb.Page.Region.ID
+		}
+		if ga.Page.Chunk != gb.Page.Chunk {
+			return ga.Page.Chunk < gb.Page.Chunk
+		}
+		return ga.Page.Sub < gb.Page.Sub
+	})
+	return groups
+}

@@ -1,0 +1,320 @@
+// Package core implements Carrefour-LP, the paper's contribution: large-
+// page extensions to the Carrefour NUMA page-placement algorithm
+// (Algorithm 1 in §3.2). Every second it gathers hardware counters and IBS
+// samples, then runs two cooperating components:
+//
+// Conservative (lines 4-9): re-enables 2 MB allocation and promotion when
+// TLB pressure (the fraction of L2 misses caused by page-table walks) or
+// page-fault time (the maximum share of any core's time in the fault
+// handler) crosses 5%.
+//
+// Reactive (lines 10-20): estimates from IBS samples the LAR that
+// Carrefour's placement would achieve with and without splitting large
+// pages; if placement alone promises a >15% LAR gain the pages stay large,
+// otherwise if splitting promises ≥5% it demotes all shared 2 MB pages and
+// disables 2 MB allocation. Hot pages (>6% of sampled accesses) are always
+// split and interleaved. Finally Carrefour's migrate/interleave pass runs.
+//
+// The reactive component's what-if LAR estimates inherit real IBS sample
+// scarcity: a 2 MB page's samples rarely cover its 4 KB sub-pages well, so
+// per-sub-page groups often look single-node and the post-split LAR is
+// over-estimated — the exact failure mode §4.1 reports for SSCA, and the
+// reason the conservative component exists.
+package core
+
+import (
+	"repro/internal/carrefour"
+	"repro/internal/ibs"
+	"repro/internal/mem"
+	"repro/internal/perf"
+	"repro/internal/sim"
+	"repro/internal/thp"
+	"repro/internal/vm"
+)
+
+// Config tunes Carrefour-LP; the defaults are Algorithm 1's thresholds.
+type Config struct {
+	// IntervalSeconds is the monitoring period (line 3: 1 s).
+	IntervalSeconds float64
+	// TLBSharePct enables 2 MB allocation+promotion when the fraction of
+	// L2 misses from page-table walks exceeds it (line 4: 5%).
+	TLBSharePct float64
+	// FaultSharePct enables 2 MB allocation when any core spends more
+	// than this share of time in the page-fault handler (line 7: 5%).
+	FaultSharePct float64
+	// CarrefourGainPct keeps pages large when placement alone promises at
+	// least this LAR improvement (line 10: 15%).
+	CarrefourGainPct float64
+	// SplitGainPct triggers splitting when the split estimate promises at
+	// least this LAR improvement (line 12: 5%).
+	SplitGainPct float64
+	// HotPagePct is the hot-page threshold (line 19: 6% of accesses).
+	HotPagePct float64
+	// MaxSplitsPerInterval bounds demotions per pass.
+	MaxSplitsPerInterval int
+	// SharedSplitEnabled controls line 16's split-all-shared-pages rule.
+	// The paper splits *all* shared 2 MB pages because per-page LAR is
+	// too noisy to pick individual victims (§3.2.1); disabling it (so
+	// only hot pages are ever split) is the ablation DESIGN.md §4.4
+	// describes.
+	SharedSplitEnabled bool
+}
+
+// DefaultConfig returns Algorithm 1's thresholds.
+func DefaultConfig() Config {
+	return Config{
+		IntervalSeconds:      1.0,
+		TLBSharePct:          5,
+		FaultSharePct:        5,
+		CarrefourGainPct:     15,
+		SplitGainPct:         5,
+		HotPagePct:           perf.HotPageThresholdPct,
+		MaxSplitsPerInterval: 16384,
+		SharedSplitEnabled:   true,
+	}
+}
+
+// LP is the Carrefour-LP daemon. Conservative and Reactive can be toggled
+// independently to reproduce Figure 4's component breakdown.
+type LP struct {
+	Cfg Config
+	Car *carrefour.Carrefour
+
+	// Conservative and Reactive enable the two components.
+	Conservative bool
+	Reactive     bool
+
+	thp *thp.THP
+
+	lastTick   float64
+	prev       sim.Snapshot
+	havePrev   bool
+	splitPages bool
+
+	splits     uint64
+	hotSplits  uint64
+	reenables  uint64
+	lastEstCur float64
+	lastEstCar float64
+	lastEstSpl float64
+}
+
+// New builds a Carrefour-LP daemon with both components enabled.
+func New(cfg Config, car *carrefour.Carrefour) *LP {
+	return &LP{Cfg: cfg, Car: car, Conservative: true, Reactive: true, lastTick: -1e18}
+}
+
+// Bind attaches the THP subsystem whose switches Algorithm 1 toggles.
+func (lp *LP) Bind(t *thp.THP) { lp.thp = t }
+
+// Stats reports cumulative decisions: shared-page splits, hot-page splits
+// and conservative re-enables.
+func (lp *LP) Stats() (splits, hotSplits, reenables uint64) {
+	return lp.splits, lp.hotSplits, lp.reenables
+}
+
+// LastEstimates exposes the most recent (current, carrefour-only, split)
+// LAR estimates, for diagnostics and tests of the misestimation behaviour.
+func (lp *LP) LastEstimates() (cur, carrefourOnly, split float64) {
+	return lp.lastEstCur, lp.lastEstCar, lp.lastEstSpl
+}
+
+// MaybeTick runs one Algorithm 1 interval if due, returning overhead
+// cycles.
+func (lp *LP) MaybeTick(env *sim.Env, now float64) float64 {
+	if now-lp.lastTick < lp.Cfg.IntervalSeconds {
+		return 0
+	}
+	lp.lastTick = now
+
+	// Line 3: gather hardware performance counters and IBS samples.
+	snap := env.Snapshot()
+	samples := env.Sampler.Drain()
+	var w sim.WindowMetrics
+	if lp.havePrev {
+		w = sim.Window(lp.prev, snap)
+	} else {
+		w = sim.Window(sim.Snapshot{FaultCycles: make([]float64, len(snap.FaultCycles))}, snap)
+	}
+	lp.prev = snap
+	lp.havePrev = true
+
+	overhead := lp.Car.Cfg.PassCycles + float64(len(samples))*lp.Car.Cfg.CyclesPerSample
+
+	if lp.Conservative && lp.thp != nil {
+		// Lines 4-9: re-enable large pages under TLB or fault pressure.
+		if w.PTWSharePct > lp.Cfg.TLBSharePct {
+			if !lp.thp.AllocEnabled() || !lp.thp.PromoteEnabled() {
+				lp.reenables++
+			}
+			lp.thp.SetAllocEnabled(true)
+			lp.thp.SetPromoteEnabled(true)
+		} else if w.MaxFaultSharePct > lp.Cfg.FaultSharePct {
+			if !lp.thp.AllocEnabled() {
+				lp.reenables++
+			}
+			lp.thp.SetAllocEnabled(true)
+		}
+	}
+
+	if lp.Reactive {
+		overhead += lp.reactive(env, samples)
+	}
+
+	// Line 20: interleave and migrate pages with Carrefour.
+	overhead += lp.Car.Apply(env, rebind(samples))
+	return overhead
+}
+
+// reactive implements lines 10-19.
+func (lp *LP) reactive(env *sim.Env, samples []ibs.Sample) float64 {
+	nodes := env.Machine.Nodes
+	groups := carrefour.GroupSamples(samples, nodes)
+	subGroups := carrefour.GroupSamples(remapTo4K(samples), nodes)
+
+	cur := sampledLAR(groups)
+	carLAR := estimatePlacementLAR(groups, nodes)
+	splitLAR := estimatePlacementLAR(subGroups, nodes)
+	lp.lastEstCur, lp.lastEstCar, lp.lastEstSpl = cur, carLAR, splitLAR
+
+	// Lines 10-14.
+	if carLAR-cur > lp.Cfg.CarrefourGainPct {
+		lp.splitPages = false
+	} else if splitLAR-cur > lp.Cfg.SplitGainPct {
+		lp.splitPages = true
+	}
+
+	var cycles float64
+	allocOff := lp.thp != nil && !lp.thp.AllocEnabled()
+
+	// Lines 15-18: split all shared 2 MB pages; disable 2 MB allocation.
+	if (lp.splitPages || allocOff) && lp.Cfg.SharedSplitEnabled {
+		splits := 0
+		for i := range groups {
+			if splits >= lp.Cfg.MaxSplitsPerInterval {
+				break
+			}
+			g := &groups[i]
+			if g.Page.Sub >= 0 || g.Threads() < 2 {
+				continue
+			}
+			if g.Page.Region.ChunkInfo(g.Page.Chunk).State != vm.Mapped2M {
+				continue
+			}
+			cyc, ok := g.Page.Region.SplitChunk(g.Page.Chunk, env.Costs)
+			cycles += cyc
+			if ok {
+				splits++
+				lp.splits++
+			}
+		}
+		if lp.thp != nil {
+			lp.thp.SetAllocEnabled(false)
+		}
+	}
+
+	// Line 19: split and interleave 2 MB hot pages.
+	var total float64
+	for i := range groups {
+		total += groups[i].Weight
+	}
+	if total > 0 {
+		for i := range groups {
+			g := &groups[i]
+			if g.Page.Sub >= 0 {
+				continue
+			}
+			if g.Weight/total*100 <= lp.Cfg.HotPagePct {
+				continue
+			}
+			if g.Page.Region.ChunkInfo(g.Page.Chunk).State != vm.Mapped2M {
+				continue
+			}
+			cyc, ok := g.Page.Region.SplitChunk(g.Page.Chunk, env.Costs)
+			cycles += cyc
+			if ok {
+				cycles += g.Page.Region.InterleaveSubs(g.Page.Chunk, env.Rng, env.Costs)
+				lp.hotSplits++
+				// Keep khugepaged from immediately re-collapsing the
+				// pages we just split; the conservative component will
+				// re-enable promotion if TLB pressure warrants it.
+				if lp.thp != nil {
+					lp.thp.SetPromoteEnabled(false)
+				}
+			}
+		}
+	}
+	return cycles
+}
+
+// sampledLAR is the current LAR as visible in the DRAM samples.
+func sampledLAR(groups []carrefour.PageGroup) float64 {
+	var local, total float64
+	for i := range groups {
+		local += groups[i].LocalWeight
+		total += groups[i].Weight
+	}
+	if total <= 0 {
+		return 100
+	}
+	return local / total * 100
+}
+
+// estimatePlacementLAR predicts the LAR after Carrefour placement: pages
+// sampled from a single node become fully local (migration); pages sampled
+// from several nodes are interleaved, making 1/nodes of their accesses
+// local (§3.2.1).
+func estimatePlacementLAR(groups []carrefour.PageGroup, nodes int) float64 {
+	var local, total float64
+	for i := range groups {
+		g := &groups[i]
+		total += g.Weight
+		if single, _ := g.SingleNode(); single {
+			local += g.Weight
+		} else {
+			local += g.Weight / float64(nodes)
+		}
+	}
+	if total <= 0 {
+		return 100
+	}
+	return local / total * 100
+}
+
+// remapTo4K rewrites samples of 2 MB (and 1 GB) pages onto their 4 KB
+// sub-pages, producing the what-if view "if the large pages were split"
+// (§3.2.1: "we can map the data addresses to 4KB pages and compute the
+// same metrics for the scenario if the large pages were split").
+func remapTo4K(samples []ibs.Sample) []ibs.Sample {
+	out := make([]ibs.Sample, len(samples))
+	for i, s := range samples {
+		if s.Page.Sub < 0 {
+			chunk := int(s.Off / uint64(mem.Size2M))
+			sub := int(s.Off % uint64(mem.Size2M) / uint64(mem.Size4K))
+			s.Page = vm.PageID{Region: s.Page.Region, Chunk: chunk, Sub: sub}
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// rebind refreshes sample page identities after splits so Carrefour's
+// placement pass operates on current granularities.
+func rebind(samples []ibs.Sample) []ibs.Sample {
+	out := make([]ibs.Sample, len(samples))
+	for i, s := range samples {
+		r := s.Page.Region
+		chunk := int(s.Off / uint64(mem.Size2M))
+		info := r.ChunkInfo(chunk)
+		switch info.State {
+		case vm.Mapped4K:
+			s.Page = vm.PageID{Region: r, Chunk: chunk, Sub: int(s.Off % uint64(mem.Size2M) / uint64(mem.Size4K))}
+		case vm.Mapped2M:
+			s.Page = vm.PageID{Region: r, Chunk: chunk, Sub: -1}
+		case vm.Mapped1G:
+			s.Page = vm.PageID{Region: r, Chunk: info.GiantHead, Sub: -1}
+		}
+		out[i] = s
+	}
+	return out
+}

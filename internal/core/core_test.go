@@ -1,0 +1,219 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/carrefour"
+	"repro/internal/ibs"
+	"repro/internal/mem"
+	"repro/internal/perf"
+	"repro/internal/sim"
+	"repro/internal/thp"
+	"repro/internal/topo"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// harness builds a live environment with 2 MB pages and an LP daemon.
+type harness struct {
+	env *sim.Env
+	r   *vm.Region
+	lp  *LP
+	thp *thp.THP
+}
+
+type testPolicy struct{ h *harness }
+
+func (p *testPolicy) Name() string { return "lp-test" }
+func (p *testPolicy) Setup(env *sim.Env) {
+	cfg := thp.DefaultConfig()
+	p.h.thp = thp.New(env.Space, cfg, env.Costs)
+	env.THP = p.h.thp
+}
+func (p *testPolicy) Tick(*sim.Env, float64) float64 { return 0 }
+
+func newHarness(t *testing.T) *harness {
+	t.Helper()
+	spec := workloads.Spec{
+		Name: "lptest",
+		Regions: []workloads.RegionSpec{
+			{Name: "data", Bytes: 64 << 20, Weight: 1, Loc: cache.RandomUniform,
+				Sharing: workloads.SharedAll, Init: workloads.InitStriped, InitTouchWeight: 32},
+		},
+		WorkPerThread:        1e5,
+		ExtraCyclesPerAccess: 4,
+		MLPOverlap:           0.5,
+	}
+	h := &harness{}
+	eng, err := sim.New(topo.MachineA(), spec, &testPolicy{h}, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.env = eng.Env()
+	h.r = h.env.Space.Regions()[0]
+	for ci := 0; ci < h.r.NumChunks(); ci++ {
+		h.r.Access(topo.CoreID(ci%24), ci%24, uint64(ci)*uint64(mem.Size2M))
+	}
+	h.lp = New(DefaultConfig(), carrefour.New(carrefour.DefaultConfig()))
+	h.lp.Bind(h.thp)
+	return h
+}
+
+func s2m(r *vm.Region, chunk, thread int, node topo.NodeID, off uint64) ibs.Sample {
+	return ibs.Sample{
+		Page:   vm.PageID{Region: r, Chunk: chunk, Sub: -1},
+		Off:    uint64(chunk)*uint64(mem.Size2M) + off,
+		Thread: thread, Core: topo.CoreID(thread),
+		AccessorNode: node, HomeNode: r.ChunkInfo(chunk).Node,
+		DRAM: true, Weight: 1,
+	}
+}
+
+func (h *harness) feed(samples []ibs.Sample) {
+	for _, s := range samples {
+		h.env.Sampler.Record(s)
+	}
+}
+
+func TestHotPageSplitAndInterleave(t *testing.T) {
+	h := newHarness(t)
+	// Chunk 0 receives ~67% of sampled accesses, all to the same 4 KB
+	// word from every node (a true hot page: splitting alone cannot
+	// localize it, so the split-all-shared path must stay off). The cold
+	// chunks are single-node, so plain placement promises a big LAR gain
+	// (line 10 ⇒ SPLIT_PAGES=false) and only the hot-page rule (line 19)
+	// may split chunk 0.
+	var samples []ibs.Sample
+	for i := 0; i < 80; i++ {
+		samples = append(samples, s2m(h.r, 0, i%24, topo.NodeID(i%4), 0))
+	}
+	for i := 0; i < 40; i++ {
+		ci := 1 + i%20
+		samples = append(samples, s2m(h.r, ci, i%24, topo.NodeID(1+ci%3), uint64(i)*4096))
+	}
+	h.feed(samples)
+	h.lp.MaybeTick(h.env, 1.0)
+	if info := h.r.ChunkInfo(0); info.State != vm.Mapped4K {
+		t.Fatalf("hot chunk not split: %v", info.State)
+	}
+	_, hot, _ := h.lp.Stats()
+	if hot != 1 {
+		t.Fatalf("hot splits = %d", hot)
+	}
+	// The constituents must be interleaved across all nodes.
+	nodes := map[topo.NodeID]bool{}
+	for sub := 0; sub < vm.SubsPerChunk; sub++ {
+		if n, ok := h.r.SubNode(0, sub); ok {
+			nodes[n] = true
+		}
+	}
+	if len(nodes) != 4 {
+		t.Fatalf("hot page interleaved over %d nodes, want 4", len(nodes))
+	}
+	// Splitting hot pages must stop khugepaged from undoing the work.
+	if h.thp.PromoteEnabled() {
+		t.Fatal("promotion still enabled after hot split")
+	}
+}
+
+func TestSharedSplitWhenPlacementCannotHelp(t *testing.T) {
+	h := newHarness(t)
+	// Every chunk is accessed by two threads on different nodes at
+	// distinct 4 KB offsets: placement cannot improve LAR at 2 MB
+	// granularity, but the 4 KB view looks perfectly separable.
+	var samples []ibs.Sample
+	for ci := 0; ci < 32; ci++ {
+		samples = append(samples,
+			s2m(h.r, ci, 0, 0, 0),
+			s2m(h.r, ci, 6, 1, 4096),
+			s2m(h.r, ci, 0, 0, 0),
+			s2m(h.r, ci, 6, 1, 4096),
+		)
+	}
+	h.feed(samples)
+	h.lp.MaybeTick(h.env, 1.0)
+	cur, car, split := h.lp.LastEstimates()
+	if car-cur > h.lp.Cfg.CarrefourGainPct {
+		t.Fatalf("carrefour-only estimate should not promise enough: cur %v car %v", cur, car)
+	}
+	if split-cur <= h.lp.Cfg.SplitGainPct {
+		t.Fatalf("split estimate should promise a gain: cur %v split %v", cur, split)
+	}
+	splits, _, _ := h.lp.Stats()
+	if splits == 0 {
+		t.Fatal("no shared pages were split")
+	}
+	if h.thp.AllocEnabled() {
+		t.Fatal("2M allocation should be disabled after splitting (line 17)")
+	}
+}
+
+func TestConservativeReenablesOnTLBPressure(t *testing.T) {
+	h := newHarness(t)
+	h.thp.SetAllocEnabled(false)
+	h.thp.SetPromoteEnabled(false)
+	// Manufacture TLB pressure in the window counters via the engine's
+	// counter surface: feed a window where PTW misses dominate.
+	h.lp.prev = h.env.Snapshot()
+	h.lp.havePrev = true
+	// Inject counter deltas by running a fake "interval" with raw counter
+	// state: simplest is to tick with a snapshot diff built from the
+	// engine; here we directly exercise the decision with a crafted
+	// window by lowering the threshold to zero.
+	h.lp.prev.Counters = perf.Counters{} // zero baseline
+	// Current counters: mostly PTW misses.
+	cur := h.env.Snapshot()
+	_ = cur
+	h.lp.Cfg.TLBSharePct = -1 // any pressure re-enables
+	h.lp.MaybeTick(h.env, 5.0)
+	if !h.thp.AllocEnabled() || !h.thp.PromoteEnabled() {
+		t.Fatal("conservative component did not re-enable large pages")
+	}
+	_, _, re := h.lp.Stats()
+	if re == 0 {
+		t.Fatal("re-enable not counted")
+	}
+}
+
+func TestReactiveDisabledComponentDoesNothing(t *testing.T) {
+	h := newHarness(t)
+	h.lp.Reactive = false
+	var samples []ibs.Sample
+	for i := 0; i < 80; i++ {
+		samples = append(samples, s2m(h.r, 0, i%24, topo.NodeID(i%4), uint64(i)*4096))
+	}
+	h.feed(samples)
+	h.lp.MaybeTick(h.env, 1.0)
+	if info := h.r.ChunkInfo(0); info.State != vm.Mapped2M {
+		t.Fatal("reactive-off configuration split a page")
+	}
+}
+
+func TestIntervalRespected(t *testing.T) {
+	h := newHarness(t)
+	if oh := h.lp.MaybeTick(h.env, 1.0); oh <= 0 {
+		t.Fatal("due tick skipped")
+	}
+	if oh := h.lp.MaybeTick(h.env, 1.5); oh != 0 {
+		t.Fatal("early tick ran")
+	}
+}
+
+func TestEstimateMisestimationUnderSparseSamples(t *testing.T) {
+	h := newHarness(t)
+	// A truly node-shared chunk sampled once per 4 KB sub-page: at 2 MB
+	// granularity it is clearly multi-node; at 4 KB granularity every
+	// sub-group is single-node, so the split estimate is inflated — the
+	// paper's SSCA misestimation (§4.1).
+	var samples []ibs.Sample
+	for i := 0; i < 64; i++ {
+		samples = append(samples, s2m(h.r, 3, i%24, topo.NodeID(i%4), uint64(i)*4096))
+	}
+	h.feed(samples)
+	h.lp.MaybeTick(h.env, 1.0)
+	_, car, split := h.lp.LastEstimates()
+	if split <= car+20 {
+		t.Fatalf("split estimate (%v) should greatly exceed the placement estimate (%v)", split, car)
+	}
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quick is a fast configuration for experiment-shape tests.
+var quick = Config{Seed: 1, WorkScale: 0.03}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, err := ByID("fig9", quick); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestIDsComplete(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 10 {
+		t.Fatalf("experiments = %d, want 10 (5 figures, 3 tables, overhead, verylarge)", len(ids))
+	}
+	for _, id := range ids {
+		found := false
+		for _, want := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "table1", "table2", "table3", "overhead", "verylarge"} {
+			if id == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("unexpected experiment id %q", id)
+		}
+	}
+}
+
+func TestVeryLargeShape(t *testing.T) {
+	res, err := VeryLarge(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "SSCA.20") || !strings.Contains(res.Text, "streamcluster") {
+		t.Fatalf("missing rows:\n%s", res.Text)
+	}
+	for _, w := range []string{"SSCA.20", "streamcluster"} {
+		slow, ok := res.Values["A/"+w+"/1g-slowdown"]
+		if !ok {
+			t.Fatalf("missing slowdown value for %s", w)
+		}
+		// §4.4: 1 GB pages must degrade both applications.
+		if slow <= 1.0 {
+			t.Fatalf("%s: 1G slowdown = %.2fx, want > 1", w, slow)
+		}
+	}
+	// Everything coalesces on one node: imbalance at the 4-node maximum.
+	for _, w := range []string{"SSCA.20", "streamcluster"} {
+		if imb := res.Values["A/"+w+"/HugeTLB1G/imbalance"]; imb < 150 {
+			t.Fatalf("%s: 1G imbalance = %.1f, want ≈173 (single hot node)", w, imb)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	res, err := Table2(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"SPECjbb", "CG.D", "UA.B", "PAMUP", "NHP", "PSP", "Imbalance", "LAR"} {
+		if !strings.Contains(res.Text, want) {
+			t.Fatalf("table 2 missing %q:\n%s", want, res.Text)
+		}
+	}
+	// The hot-page effect: CG.D has no hot pages under 4K pages and
+	// several under THP (paper: 0 → 3).
+	if res.Values["A/CG.D/Linux4K/nhp"] != 0 {
+		t.Fatalf("CG.D NHP under Linux = %v, want 0", res.Values["A/CG.D/Linux4K/nhp"])
+	}
+	if res.Values["A/CG.D/THP/nhp"] < 1 {
+		t.Fatalf("CG.D NHP under THP = %v, want ≥1", res.Values["A/CG.D/THP/nhp"])
+	}
+	// Page-level false sharing: UA.B's PSP must jump under THP.
+	if res.Values["A/UA.B/THP/psp"] < res.Values["A/UA.B/Linux4K/psp"]+20 {
+		t.Fatalf("UA.B PSP: Linux %v THP %v, want a large jump",
+			res.Values["A/UA.B/Linux4K/psp"], res.Values["A/UA.B/THP/psp"])
+	}
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+// These integration tests assert the paper's headline findings end to
+// end, at a reduced work scale that keeps the suite fast while leaving
+// the policy daemons enough intervals to act.
+
+func paperCfg() *sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.WorkScale = 0.3
+	return &cfg
+}
+
+func get(t *testing.T, machine, workload, policy string) sim.Result {
+	t.Helper()
+	res, err := runner.Run(runner.Request{
+		Machine: machine, Workload: workload, Policy: policy, Seed: 1, Cfg: paperCfg(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut {
+		t.Fatalf("%s/%s/%s timed out", machine, workload, policy)
+	}
+	return res
+}
+
+// TestHotPageEffectCG asserts §2.2/§3.1: THP slows CG.D on machine B by
+// creating hot pages that unbalance the controllers, Carrefour-2M cannot
+// fix it, and Carrefour-LP recovers by splitting the hot pages.
+func TestHotPageEffectCG(t *testing.T) {
+	lin := get(t, "B", "CG.D", "Linux4K")
+	thp := get(t, "B", "CG.D", "THP")
+	lp := get(t, "B", "CG.D", "CarrefourLP")
+
+	if imp := runner.ImprovementPct(lin, thp); imp > -5 {
+		t.Errorf("THP should slow CG.D on B (paper: -43%%), got %+.1f%%", imp)
+	}
+	if thp.ImbalancePct < lin.ImbalancePct+30 {
+		t.Errorf("THP should unbalance controllers: %.1f%% vs %.1f%%", lin.ImbalancePct, thp.ImbalancePct)
+	}
+	if thp.PageMetrics.NHP < 1 {
+		t.Errorf("THP should create hot pages (paper NHP=3), got %d", thp.PageMetrics.NHP)
+	}
+	if lin.PageMetrics.NHP != 0 {
+		t.Errorf("Linux should have no hot pages, got %d", lin.PageMetrics.NHP)
+	}
+	// Carrefour-LP recovers most of the loss.
+	if lp.RuntimeSeconds > thp.RuntimeSeconds*0.95 {
+		t.Errorf("Carrefour-LP (%.2fs) should beat THP (%.2fs)", lp.RuntimeSeconds, thp.RuntimeSeconds)
+	}
+	if lp.ImbalancePct > thp.ImbalancePct*0.6 {
+		t.Errorf("Carrefour-LP should restore balance: LP %.1f%% vs THP %.1f%%", lp.ImbalancePct, thp.ImbalancePct)
+	}
+}
+
+// TestFalseSharingUA asserts §3.1: THP induces page-level false sharing
+// on UA (PSP jumps, LAR drops); Carrefour-2M interleaves the shared pages
+// and makes LAR even worse; Carrefour-LP splits them and recovers.
+func TestFalseSharingUA(t *testing.T) {
+	lin := get(t, "B", "UA.B", "Linux4K")
+	thp := get(t, "B", "UA.B", "THP")
+	car := get(t, "B", "UA.B", "Carrefour2M")
+	lp := get(t, "B", "UA.B", "CarrefourLP")
+
+	if thp.PageMetrics.PSPPct < lin.PageMetrics.PSPPct+25 {
+		t.Errorf("PSP should jump under THP (paper 16→70): %.1f → %.1f",
+			lin.PageMetrics.PSPPct, thp.PageMetrics.PSPPct)
+	}
+	if thp.LARPct > lin.LARPct-10 {
+		t.Errorf("LAR should drop under THP (paper 88→66): %.1f → %.1f", lin.LARPct, thp.LARPct)
+	}
+	if car.LARPct > thp.LARPct+3 {
+		t.Errorf("Carrefour-2M should not fix UA's locality (paper: it worsens it): %.1f vs THP %.1f",
+			car.LARPct, thp.LARPct)
+	}
+	if lp.LARPct < thp.LARPct+5 {
+		t.Errorf("Carrefour-LP should restore locality (paper 61→85): %.1f vs THP %.1f",
+			lp.LARPct, thp.LARPct)
+	}
+}
+
+// TestAllocationBoundWC asserts §2.2: WC is page-fault-bound at 4 KB and
+// THP delivers a large win.
+func TestAllocationBoundWC(t *testing.T) {
+	lin := get(t, "B", "WC", "Linux4K")
+	thp := get(t, "B", "WC", "THP")
+	if lin.MaxFaultSharePct < 15 {
+		t.Errorf("WC at 4K should be fault-bound (paper 37.6%%), got %.1f%%", lin.MaxFaultSharePct)
+	}
+	if thp.MaxFaultSharePct >= lin.MaxFaultSharePct {
+		t.Errorf("THP should cut fault time: %.1f%% vs %.1f%%", thp.MaxFaultSharePct, lin.MaxFaultSharePct)
+	}
+	if imp := runner.ImprovementPct(lin, thp); imp < 15 {
+		t.Errorf("THP should speed up WC substantially (paper +109%%), got %+.1f%%", imp)
+	}
+}
+
+// TestTLBBoundSSCA asserts §2.2: SSCA's page-walk pressure collapses
+// under THP.
+func TestTLBBoundSSCA(t *testing.T) {
+	lin := get(t, "A", "SSCA.20", "Linux4K")
+	thp := get(t, "A", "SSCA.20", "THP")
+	if lin.PTWSharePct < 5 {
+		t.Errorf("SSCA at 4K should have heavy page-walk pressure (paper 15%%), got %.1f%%", lin.PTWSharePct)
+	}
+	if thp.PTWSharePct > 2 {
+		t.Errorf("THP should eliminate page-walk pressure (paper 2%%), got %.1f%%", thp.PTWSharePct)
+	}
+	if thp.ImbalancePct < lin.ImbalancePct+15 {
+		t.Errorf("THP should unbalance SSCA (paper 8→52): %.1f → %.1f", lin.ImbalancePct, thp.ImbalancePct)
+	}
+}
+
+// TestCarrefour2MFixesSPECjbb asserts §3.1: SPECjbb's THP-induced NUMA
+// issues are placement-fixable (no hot pages, no false sharing), so
+// Carrefour-2M recovers what THP lost.
+func TestCarrefour2MFixesSPECjbb(t *testing.T) {
+	thp := get(t, "B", "SPECjbb", "THP")
+	car := get(t, "B", "SPECjbb", "Carrefour2M")
+	if car.RuntimeSeconds > thp.RuntimeSeconds*0.95 {
+		t.Errorf("Carrefour-2M (%.2fs) should beat THP (%.2fs) on SPECjbb",
+			car.RuntimeSeconds, thp.RuntimeSeconds)
+	}
+	if car.ImbalancePct > thp.ImbalancePct*0.8 {
+		t.Errorf("Carrefour-2M should rebalance SPECjbb (paper 39→19): %.1f vs %.1f",
+			car.ImbalancePct, thp.ImbalancePct)
+	}
+}
+
+// TestGiantPagesCollapse asserts §4.4's direction: 1 GB pages put the
+// whole working set on one node and degrade both applications.
+func TestGiantPagesCollapse(t *testing.T) {
+	for _, w := range []string{"SSCA.20", "streamcluster"} {
+		thp := get(t, "A", w, "THP")
+		gig := get(t, "A", w, "HugeTLB1G")
+		if gig.RuntimeSeconds <= thp.RuntimeSeconds {
+			t.Errorf("%s: 1G (%.2fs) should be slower than 2M (%.2fs)", w, gig.RuntimeSeconds, thp.RuntimeSeconds)
+		}
+		if gig.ImbalancePct < 150 {
+			t.Errorf("%s: 1G imbalance = %.1f, want ≈173 (one hot node)", w, gig.ImbalancePct)
+		}
+	}
+}

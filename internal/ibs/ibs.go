@@ -1,0 +1,139 @@
+// Package ibs models AMD Instruction-Based Sampling, the hardware
+// profiling facility Carrefour and Carrefour-LP depend on (§3.2.1). IBS
+// delivers, for a sampled subset of memory operations, the data address,
+// the accessing core, and whether the access was serviced from DRAM and
+// from which node. The facility's central limitation — too few samples to
+// estimate per-page behaviour accurately without unacceptable overhead —
+// is faithfully reproduced: samplers record only a configurable fraction
+// of accesses and charge an interrupt cost for each sample taken.
+//
+// Samples are buffered per NUMA node, reproducing the scalability fix the
+// paper describes in §4.3 (a single centralized buffer serialized all
+// nodes on one lock).
+package ibs
+
+import (
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/vm"
+)
+
+// Sample is one IBS record. Policies must base decisions only on the
+// fields here — this is the hardware-visible view, as opposed to the
+// simulator's ground truth.
+type Sample struct {
+	// Page is the backing page of the sampled access at its mapping
+	// granularity (IBS reports a virtual address; the kernel resolves it).
+	Page vm.PageID
+	// Off is the byte offset within the page's region, so policies can
+	// re-map a sample onto hypothetical 4 KB sub-pages (the reactive
+	// component's what-if splitting estimate needs this).
+	Off uint64
+	// Thread is the accessing software thread.
+	Thread int
+	// Core is the accessing core.
+	Core topo.CoreID
+	// AccessorNode is the node of the accessing core.
+	AccessorNode topo.NodeID
+	// HomeNode is the node that served the data.
+	HomeNode topo.NodeID
+	// DRAM reports whether the access was serviced from memory rather
+	// than a cache; Carrefour-LP only considers DRAM-serviced samples so
+	// that "decisions are not affected by pages that are easily cached".
+	DRAM bool
+	// Weight is the number of real accesses this sample statistically
+	// represents (simulation artifact; treated as a sample multiplicity).
+	Weight float64
+}
+
+// Local reports whether the sampled access was node-local.
+func (s Sample) Local() bool { return s.AccessorNode == s.HomeNode }
+
+// Config tunes the sampler.
+type Config struct {
+	// Rate is the hardware sampling probability per access; it prices the
+	// interrupt overhead and corresponds to an IBS period of 1/Rate ops.
+	Rate float64
+	// RecordRate is the probability that one of the engine's *priced*
+	// accesses is recorded as a sample. The engine prices only a subset
+	// of real accesses, so recording at a higher probability than Rate
+	// reconstructs the sample volume real hardware would deliver per
+	// interval (millions of ops sampled at 1/Rate) without distorting
+	// the overhead accounting.
+	RecordRate float64
+	// CyclesPerSample is the interrupt + logging cost charged to the
+	// sampled core.
+	CyclesPerSample float64
+	// MaxPerNode bounds each per-node buffer; once full, further samples
+	// in the interval are dropped (ring-buffer semantics).
+	MaxPerNode int
+}
+
+// DefaultConfig returns the evaluation calibration: IBS period ≈ 2000 ops
+// (the overhead the paper tolerates), with per-interval sample volumes
+// large enough to cover 2 MB pages well but 4 KB sub-pages only sparsely —
+// the imbalance behind the reactive component's LAR misestimation (§4.1).
+func DefaultConfig() Config {
+	return Config{Rate: 0.0005, RecordRate: 0.2, CyclesPerSample: 2500, MaxPerNode: 200000}
+}
+
+// Sampler collects IBS samples into per-node buffers.
+type Sampler struct {
+	Cfg     Config
+	buffers [][]Sample
+	dropped uint64
+	taken   uint64
+}
+
+// NewSampler builds a sampler for a machine with the given node count.
+func NewSampler(cfg Config, nodes int) *Sampler {
+	return &Sampler{Cfg: cfg, buffers: make([][]Sample, nodes)}
+}
+
+// Maybe samples the described access with probability Cfg.Rate. It returns
+// the overhead cycles to charge to the accessing core (0 when not
+// sampled). rng must be the accessing thread's stream so results stay
+// deterministic under any host scheduling.
+func (s *Sampler) Maybe(rng *stats.Rng, sample Sample) float64 {
+	if !rng.Bernoulli(s.Cfg.Rate) {
+		return 0
+	}
+	node := int(sample.AccessorNode)
+	if len(s.buffers[node]) >= s.Cfg.MaxPerNode {
+		s.dropped++
+		return s.Cfg.CyclesPerSample
+	}
+	s.buffers[node] = append(s.buffers[node], sample)
+	s.taken++
+	return s.Cfg.CyclesPerSample
+}
+
+// Record unconditionally stores a sample (used by tests and by replaying
+// trace data).
+func (s *Sampler) Record(sample Sample) {
+	node := int(sample.AccessorNode)
+	if len(s.buffers[node]) >= s.Cfg.MaxPerNode {
+		s.dropped++
+		return
+	}
+	s.buffers[node] = append(s.buffers[node], sample)
+	s.taken++
+}
+
+// Drain returns all buffered samples merged in node order and clears the
+// buffers; called by the policy daemon at the start of each interval.
+func (s *Sampler) Drain() []Sample {
+	var total int
+	for _, b := range s.buffers {
+		total += len(b)
+	}
+	out := make([]Sample, 0, total)
+	for i, b := range s.buffers {
+		out = append(out, b...)
+		s.buffers[i] = s.buffers[i][:0]
+	}
+	return out
+}
+
+// Stats reports how many samples were taken and dropped since creation.
+func (s *Sampler) Stats() (taken, dropped uint64) { return s.taken, s.dropped }

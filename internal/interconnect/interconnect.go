@@ -1,0 +1,175 @@
+// Package interconnect models the HyperTransport-style fabric between NUMA
+// nodes. Remote memory requests pay a per-hop latency and share link
+// bandwidth; congested links add queueing delay, which is one of the two
+// ways the paper's "NUMA issues" surface (the other being overloaded
+// memory controllers, modeled in package mem).
+package interconnect
+
+import (
+	"fmt"
+
+	"repro/internal/topo"
+)
+
+// Params configures the link model.
+type Params struct {
+	// HopCycles is the uncongested per-hop traversal cost in core cycles.
+	HopCycles float64
+	// ServiceReqPerCycle is one link's peak request service rate.
+	ServiceReqPerCycle float64
+	// MaxFactor caps the congestion multiplier.
+	MaxFactor float64
+}
+
+// DefaultParams returns the calibration used by the evaluation: remote
+// accesses cost ~140 cycles per hop uncongested and up to ~4× that when a
+// link saturates.
+func DefaultParams() Params {
+	return Params{HopCycles: 140, ServiceReqPerCycle: 0.06, MaxFactor: 4.0}
+}
+
+// Fabric tracks load and latency on every interconnect link. Not safe for
+// concurrent use; the engine serializes updates.
+type Fabric struct {
+	Machine *topo.Machine
+	Params  Params
+
+	linkIndex map[[2]topo.NodeID]int
+	nLinks    int
+	routes    [][][]int // routes[src][dst] = link indices along the path
+
+	epochLoad []float64
+	totalLoad []float64
+	factor    []float64 // lagged congestion multiplier per link
+}
+
+// New builds the fabric for machine m: a link exists between every node
+// pair at hop distance 1, and 2-hop routes pass through the lowest-numbered
+// common neighbor.
+func New(m *topo.Machine, p Params) *Fabric {
+	f := &Fabric{
+		Machine:   m,
+		Params:    p,
+		linkIndex: make(map[[2]topo.NodeID]int),
+	}
+	for a := 0; a < m.Nodes; a++ {
+		for b := a + 1; b < m.Nodes; b++ {
+			if m.Hops(topo.NodeID(a), topo.NodeID(b)) == 1 {
+				f.linkIndex[[2]topo.NodeID{topo.NodeID(a), topo.NodeID(b)}] = f.nLinks
+				f.nLinks++
+			}
+		}
+	}
+	f.epochLoad = make([]float64, f.nLinks)
+	f.totalLoad = make([]float64, f.nLinks)
+	f.factor = make([]float64, f.nLinks)
+	for i := range f.factor {
+		f.factor[i] = 1
+	}
+	f.routes = make([][][]int, m.Nodes)
+	for a := 0; a < m.Nodes; a++ {
+		f.routes[a] = make([][]int, m.Nodes)
+		for b := 0; b < m.Nodes; b++ {
+			f.routes[a][b] = f.computeRoute(topo.NodeID(a), topo.NodeID(b))
+		}
+	}
+	return f
+}
+
+func (f *Fabric) link(a, b topo.NodeID) int {
+	if a > b {
+		a, b = b, a
+	}
+	i, ok := f.linkIndex[[2]topo.NodeID{a, b}]
+	if !ok {
+		panic(fmt.Sprintf("interconnect: no direct link %d-%d", a, b))
+	}
+	return i
+}
+
+func (f *Fabric) computeRoute(src, dst topo.NodeID) []int {
+	if src == dst {
+		return nil
+	}
+	switch f.Machine.Hops(src, dst) {
+	case 1:
+		return []int{f.link(src, dst)}
+	case 2:
+		for w := 0; w < f.Machine.Nodes; w++ {
+			mid := topo.NodeID(w)
+			if mid == src || mid == dst {
+				continue
+			}
+			if f.Machine.Hops(src, mid) == 1 && f.Machine.Hops(mid, dst) == 1 {
+				return []int{f.link(src, mid), f.link(mid, dst)}
+			}
+		}
+		panic(fmt.Sprintf("interconnect: no 2-hop route %d→%d", src, dst))
+	default:
+		panic(fmt.Sprintf("interconnect: unsupported hop count %d", f.Machine.Hops(src, dst)))
+	}
+}
+
+// NumLinks returns the number of physical links.
+func (f *Fabric) NumLinks() int { return f.nLinks }
+
+// Latency returns the cycles a request from a core on src to memory on dst
+// spends on the fabric in the current epoch (0 for local accesses). The
+// congestion factors are lagged one epoch, mirroring package mem.
+func (f *Fabric) Latency(src, dst topo.NodeID) float64 {
+	if src == dst {
+		return 0
+	}
+	var cycles float64
+	for _, li := range f.routes[src][dst] {
+		cycles += f.Params.HopCycles * f.factor[li]
+	}
+	return cycles
+}
+
+// Record charges count requests to every link on the src→dst path.
+func (f *Fabric) Record(src, dst topo.NodeID, count float64) {
+	if src == dst {
+		return
+	}
+	for _, li := range f.routes[src][dst] {
+		f.epochLoad[li] += count
+		f.totalLoad[li] += count
+	}
+}
+
+// EndEpoch converts this epoch's link loads into next epoch's congestion
+// factors and clears the per-epoch counters.
+func (f *Fabric) EndEpoch(epochCycles float64) {
+	capacity := epochCycles * f.Params.ServiceReqPerCycle
+	for i := range f.epochLoad {
+		u := 0.0
+		if capacity > 0 {
+			u = f.epochLoad[i] / capacity
+		}
+		if u > 0.97 {
+			u = 0.97
+		}
+		c := 1 + 2.0*u*u/(1-u)
+		if c > f.Params.MaxFactor {
+			c = f.Params.MaxFactor
+		}
+		f.factor[i] = c
+		f.epochLoad[i] = 0
+	}
+}
+
+// TotalLoad returns a copy of the cumulative per-link request counts.
+func (f *Fabric) TotalLoad() []float64 {
+	out := make([]float64, len(f.totalLoad))
+	copy(out, f.totalLoad)
+	return out
+}
+
+// ResetCounters clears cumulative statistics.
+func (f *Fabric) ResetCounters() {
+	for i := range f.totalLoad {
+		f.totalLoad[i] = 0
+		f.epochLoad[i] = 0
+	}
+}

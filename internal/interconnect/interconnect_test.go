@@ -1,0 +1,145 @@
+package interconnect
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topo"
+)
+
+func TestMachineALinkCount(t *testing.T) {
+	f := New(topo.MachineA(), DefaultParams())
+	// 4 fully connected nodes → C(4,2) = 6 links.
+	if f.NumLinks() != 6 {
+		t.Fatalf("machine A links = %d, want 6", f.NumLinks())
+	}
+}
+
+func TestMachineBLinkCount(t *testing.T) {
+	f := New(topo.MachineB(), DefaultParams())
+	// 4 intra-package links + 4 adjacent package pairs × 4 node pairs.
+	if f.NumLinks() != 20 {
+		t.Fatalf("machine B links = %d, want 20", f.NumLinks())
+	}
+}
+
+func TestLocalAccessFree(t *testing.T) {
+	f := New(topo.MachineA(), DefaultParams())
+	if f.Latency(2, 2) != 0 {
+		t.Fatal("local access should cost 0 fabric cycles")
+	}
+	f.Record(2, 2, 1000)
+	for _, l := range f.TotalLoad() {
+		if l != 0 {
+			t.Fatal("local access should not load any link")
+		}
+	}
+}
+
+func TestUncongestedHopLatency(t *testing.T) {
+	p := DefaultParams()
+	fa := New(topo.MachineA(), p)
+	if got := fa.Latency(0, 1); got != p.HopCycles {
+		t.Fatalf("1-hop latency = %v, want %v", got, p.HopCycles)
+	}
+	fb := New(topo.MachineB(), p)
+	// Find a 2-hop pair on machine B (diagonal packages 0 and 2).
+	if topo.MachineB().Hops(0, 4) != 2 {
+		t.Fatal("expected nodes 0 and 4 to be 2 hops apart on machine B")
+	}
+	if got := fb.Latency(0, 4); got != 2*p.HopCycles {
+		t.Fatalf("2-hop latency = %v, want %v", got, 2*p.HopCycles)
+	}
+}
+
+func TestCongestionRaisesLatency(t *testing.T) {
+	f := New(topo.MachineA(), DefaultParams())
+	base := f.Latency(0, 1)
+	epoch := 1e6
+	f.Record(0, 1, epoch*f.Params.ServiceReqPerCycle) // saturate the 0-1 link
+	f.EndEpoch(epoch)
+	hot := f.Latency(0, 1)
+	if hot <= base {
+		t.Fatalf("congested latency %v not above base %v", hot, base)
+	}
+	if hot > base*f.Params.MaxFactor+1e-9 {
+		t.Fatalf("latency %v exceeds cap", hot)
+	}
+	// Unrelated link unaffected.
+	if f.Latency(2, 3) != base {
+		t.Fatal("idle link latency disturbed")
+	}
+}
+
+func TestLatencySymmetryProperty(t *testing.T) {
+	for _, m := range []*topo.Machine{topo.MachineA(), topo.MachineB()} {
+		f := New(m, DefaultParams())
+		if err := quick.Check(func(a, b uint8) bool {
+			i := topo.NodeID(int(a) % m.Nodes)
+			j := topo.NodeID(int(b) % m.Nodes)
+			return f.Latency(i, j) == f.Latency(j, i)
+		}, nil); err != nil {
+			t.Fatalf("machine %s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestTwoHopRouteLoadsBothLinks(t *testing.T) {
+	m := topo.MachineB()
+	f := New(m, DefaultParams())
+	f.Record(0, 4, 10)
+	loaded := 0
+	for _, l := range f.TotalLoad() {
+		if l > 0 {
+			loaded++
+			if l != 10 {
+				t.Fatalf("link load = %v, want 10", l)
+			}
+		}
+	}
+	if loaded != 2 {
+		t.Fatalf("2-hop route loaded %d links, want 2", loaded)
+	}
+}
+
+func TestEndEpochResetsLoad(t *testing.T) {
+	f := New(topo.MachineA(), DefaultParams())
+	f.Record(0, 1, 500)
+	f.EndEpoch(1e6)
+	f.Record(0, 1, 1)
+	// After a quiet epoch the factor must decay back to 1.
+	f.EndEpoch(1e9)
+	f.EndEpoch(1e9)
+	if got, want := f.Latency(0, 1), f.Params.HopCycles; got > want*1.01 {
+		t.Fatalf("latency did not decay: %v, want ≈%v", got, want)
+	}
+	if tot := f.TotalLoad(); tot[0]+tot[1]+tot[2]+tot[3]+tot[4]+tot[5] != 501 {
+		t.Fatalf("total load = %v, want 501 across links", tot)
+	}
+}
+
+func TestResetCounters(t *testing.T) {
+	f := New(topo.MachineA(), DefaultParams())
+	f.Record(0, 1, 500)
+	f.ResetCounters()
+	for _, l := range f.TotalLoad() {
+		if l != 0 {
+			t.Fatal("ResetCounters left residual load")
+		}
+	}
+}
+
+func TestAllPairsRoutable(t *testing.T) {
+	for _, m := range []*topo.Machine{topo.MachineA(), topo.MachineB()} {
+		f := New(m, DefaultParams())
+		for a := 0; a < m.Nodes; a++ {
+			for b := 0; b < m.Nodes; b++ {
+				lat := f.Latency(topo.NodeID(a), topo.NodeID(b))
+				hops := m.Hops(topo.NodeID(a), topo.NodeID(b))
+				if want := float64(hops) * f.Params.HopCycles; lat != want {
+					t.Fatalf("machine %s %d→%d: latency %v, want %v", m.Name, a, b, lat, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,243 @@
+// Package mem models the physical memory system: per-node capacity
+// accounting for 4 KB / 2 MB / 1 GB frames and, critically for the paper,
+// per-node memory-controller load. Requests to an overloaded controller see
+// latencies of up to ~1000 cycles versus ~200 cycles uncontended (§1), and
+// the imbalance of the per-controller request rates is the paper's central
+// NUMA-health metric.
+package mem
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// PageSize is a supported translation granularity in bytes.
+type PageSize uint64
+
+// The three page sizes the paper considers: regular x86 4 KB pages, 2 MB
+// large pages (THP), and 1 GB very large pages (§4.4).
+const (
+	Size4K PageSize = 4 << 10
+	Size2M PageSize = 2 << 20
+	Size1G PageSize = 1 << 30
+)
+
+// String renders the conventional name of the page size.
+func (s PageSize) String() string {
+	switch s {
+	case Size4K:
+		return "4K"
+	case Size2M:
+		return "2M"
+	case Size1G:
+		return "1G"
+	default:
+		return fmt.Sprintf("PageSize(%d)", uint64(s))
+	}
+}
+
+// Valid reports whether s is one of the supported sizes.
+func (s PageSize) Valid() bool {
+	return s == Size4K || s == Size2M || s == Size1G
+}
+
+// ErrOutOfMemory is returned when a node cannot satisfy an allocation.
+var ErrOutOfMemory = errors.New("mem: node out of memory")
+
+// LatencyParams configures the DRAM latency/contention model.
+type LatencyParams struct {
+	// FixedCycles is the uncontended non-queuing portion of a DRAM access
+	// (row activation, bus transfer).
+	FixedCycles float64
+	// QueueCycles is the uncontended controller-queue portion; the
+	// contention multiplier applies to this term.
+	QueueCycles float64
+	// ServiceReqPerCycle is the controller's peak service rate; epoch
+	// utilization is requests / (cycles × ServiceReqPerCycle).
+	ServiceReqPerCycle float64
+	// MaxFactor caps the contention multiplier so an overloaded
+	// controller saturates near the paper's ~1000-cycle figure instead of
+	// diverging.
+	MaxFactor float64
+}
+
+// DefaultLatencyParams returns the calibration used for both machines:
+// ~200 cycles uncontended and ~950 cycles fully congested, matching the
+// figures the paper cites from the Carrefour study.
+func DefaultLatencyParams() LatencyParams {
+	return LatencyParams{
+		FixedCycles:        50,
+		QueueCycles:        150,
+		ServiceReqPerCycle: 0.08,
+		MaxFactor:          6.0,
+	}
+}
+
+// LatencyParamsFor returns the per-machine calibration: machine A's
+// Istanbul-generation controllers have a little more headroom per core
+// cycle (fewer, slower cores per node) than machine B's Interlagos nodes.
+func LatencyParamsFor(machineName string) LatencyParams {
+	p := DefaultLatencyParams()
+	switch machineName {
+	case "A":
+		p.ServiceReqPerCycle = 0.095
+	case "B":
+		p.ServiceReqPerCycle = 0.075
+	}
+	return p
+}
+
+// System tracks physical memory occupancy and controller load for one
+// machine. It is not safe for concurrent use; the simulation engine merges
+// per-thread request batches deterministically before touching it.
+type System struct {
+	Machine *topo.Machine
+	Params  LatencyParams
+
+	allocated []uint64 // bytes in use per node
+
+	epochReq []float64 // requests recorded this epoch per node
+	totalReq []float64 // requests recorded over the whole run per node
+	latency  []float64 // lagged per-node access latency for the current epoch
+	util     []float64 // lagged per-node utilization
+}
+
+// NewSystem builds an empty memory system for machine m.
+func NewSystem(m *topo.Machine, p LatencyParams) *System {
+	s := &System{
+		Machine:   m,
+		Params:    p,
+		allocated: make([]uint64, m.Nodes),
+		epochReq:  make([]float64, m.Nodes),
+		totalReq:  make([]float64, m.Nodes),
+		latency:   make([]float64, m.Nodes),
+		util:      make([]float64, m.Nodes),
+	}
+	base := p.FixedCycles + p.QueueCycles
+	for i := range s.latency {
+		s.latency[i] = base
+	}
+	return s
+}
+
+// Allocate reserves size bytes on node n, failing with ErrOutOfMemory when
+// the node's DRAM is exhausted. Allocation never falls back to another node
+// here; fallback is an OS policy decision made by the caller.
+func (s *System) Allocate(n topo.NodeID, size PageSize) error {
+	if !size.Valid() {
+		return fmt.Errorf("mem: invalid page size %d", uint64(size))
+	}
+	if s.allocated[n]+uint64(size) > s.Machine.DRAMPerNode {
+		return ErrOutOfMemory
+	}
+	s.allocated[n] += uint64(size)
+	return nil
+}
+
+// Free releases size bytes on node n. Freeing more than is allocated is a
+// bookkeeping bug and panics.
+func (s *System) Free(n topo.NodeID, size PageSize) {
+	if s.allocated[n] < uint64(size) {
+		panic(fmt.Sprintf("mem: freeing %d bytes on node %d with only %d allocated", size, n, s.allocated[n]))
+	}
+	s.allocated[n] -= uint64(size)
+}
+
+// Allocated reports the bytes in use on node n.
+func (s *System) Allocated(n topo.NodeID) uint64 { return s.allocated[n] }
+
+// Free bytes remaining on node n.
+func (s *System) FreeBytes(n topo.NodeID) uint64 {
+	return s.Machine.DRAMPerNode - s.allocated[n]
+}
+
+// Record charges count DRAM requests to node n's controller in the current
+// epoch. The simulation engine calls this with sampled request counts
+// scaled to the thread's actual progress.
+func (s *System) Record(n topo.NodeID, count float64) {
+	s.epochReq[n] += count
+	s.totalReq[n] += count
+}
+
+// Latency returns the cycles a DRAM request to node n costs in the current
+// epoch. The value is lagged: it was derived from the previous epoch's
+// request rates by EndEpoch, modeling the feedback delay of real queueing.
+func (s *System) Latency(n topo.NodeID) float64 { return s.latency[n] }
+
+// Utilization returns node n's lagged controller utilization in [0, ~1+].
+func (s *System) Utilization(n topo.NodeID) float64 { return s.util[n] }
+
+// EndEpoch folds the epoch's request counts into the latency model for the
+// next epoch and resets the per-epoch counters. epochCycles is the length
+// of the finished epoch in core cycles.
+func (s *System) EndEpoch(epochCycles float64) {
+	capacity := epochCycles * s.Params.ServiceReqPerCycle
+	for n := range s.epochReq {
+		u := 0.0
+		if capacity > 0 {
+			u = s.epochReq[n] / capacity
+		}
+		s.util[n] = u
+		target := s.Params.FixedCycles + s.Params.QueueCycles*s.contentionFactor(u)
+		// Beyond saturation the controller is throughput-bound: latency
+		// grows with the backlog ratio past the normal-case cap. This is
+		// the regime behind the ~4× collapse with 1 GB pages (§4.4).
+		if u > 1 {
+			target *= u
+		}
+		// EWMA damping stabilizes the lagged fixed point.
+		s.latency[n] = 0.5*s.latency[n] + 0.5*target
+		s.epochReq[n] = 0
+	}
+}
+
+// contentionFactor maps utilization to a queueing-delay multiplier: 1 when
+// idle, super-linear as the controller saturates, capped at MaxFactor.
+func (s *System) contentionFactor(u float64) float64 {
+	if u <= 0 {
+		return 1
+	}
+	eff := u
+	if eff > 0.97 {
+		eff = 0.97
+	}
+	f := 1 + 2.5*eff*eff/(1-eff)
+	if f > s.Params.MaxFactor {
+		f = s.Params.MaxFactor
+	}
+	return f
+}
+
+// EpochRequests returns a copy of this epoch's per-node request counts
+// (before EndEpoch resets them).
+func (s *System) EpochRequests() []float64 {
+	out := make([]float64, len(s.epochReq))
+	copy(out, s.epochReq)
+	return out
+}
+
+// TotalRequests returns a copy of the cumulative per-node request counts.
+func (s *System) TotalRequests() []float64 {
+	out := make([]float64, len(s.totalReq))
+	copy(out, s.totalReq)
+	return out
+}
+
+// ImbalancePct is the paper's traffic-imbalance metric computed over the
+// cumulative per-controller request counts: the standard deviation of the
+// rates as a percent of the mean (§2.1).
+func (s *System) ImbalancePct() float64 {
+	return stats.ImbalancePct(s.totalReq)
+}
+
+// ResetCounters clears the cumulative request statistics, used when a
+// measurement interval should exclude warmup.
+func (s *System) ResetCounters() {
+	for i := range s.totalReq {
+		s.totalReq[i] = 0
+		s.epochReq[i] = 0
+	}
+}

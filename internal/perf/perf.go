@@ -1,0 +1,164 @@
+// Package perf is the hardware-counter surface of the simulator. It
+// accumulates the event counts the paper reports and computes its metrics:
+//
+//   - LAR, the local access ratio: percent of DRAM accesses served by the
+//     accessing core's own node (§2.1);
+//   - traffic imbalance: stddev of per-controller request rates as a
+//     percent of the mean (§2.1, via package mem);
+//   - the fraction of L2 cache misses caused by page-table walks, the
+//     conservative component's TLB-pressure signal (§3.2.2);
+//   - the maximum per-core share of time spent in the page-fault handler
+//     (§3.2.2);
+//   - PAMUP, NHP and PSP, the hot-page and false-sharing metrics of §3.1.
+package perf
+
+import (
+	"repro/internal/stats"
+	"repro/internal/vm"
+)
+
+// Counters accumulates access-level events. The engine owns one global
+// instance plus per-window snapshots.
+type Counters struct {
+	// Accesses is the number of (weighted) memory accesses priced.
+	Accesses float64
+	// LocalDRAM and RemoteDRAM count DRAM-serviced accesses by locality.
+	LocalDRAM  float64
+	RemoteDRAM float64
+	// DataL2Misses counts data accesses that missed the L2 cache.
+	DataL2Misses float64
+	// PTWL2Misses counts L2 misses caused by page-table walks.
+	PTWL2Misses float64
+	// TLBMisses counts full TLB misses (walks).
+	TLBMisses float64
+}
+
+// Add folds other into c.
+func (c *Counters) Add(other Counters) {
+	c.Accesses += other.Accesses
+	c.LocalDRAM += other.LocalDRAM
+	c.RemoteDRAM += other.RemoteDRAM
+	c.DataL2Misses += other.DataL2Misses
+	c.PTWL2Misses += other.PTWL2Misses
+	c.TLBMisses += other.TLBMisses
+}
+
+// Sub returns c minus other (for window deltas).
+func (c Counters) Sub(other Counters) Counters {
+	return Counters{
+		Accesses:     c.Accesses - other.Accesses,
+		LocalDRAM:    c.LocalDRAM - other.LocalDRAM,
+		RemoteDRAM:   c.RemoteDRAM - other.RemoteDRAM,
+		DataL2Misses: c.DataL2Misses - other.DataL2Misses,
+		PTWL2Misses:  c.PTWL2Misses - other.PTWL2Misses,
+		TLBMisses:    c.TLBMisses - other.TLBMisses,
+	}
+}
+
+// LARPct returns the local access ratio in percent, or 100 when there was
+// no DRAM traffic (a fully cache-resident interval has no NUMA exposure).
+func (c Counters) LARPct() float64 {
+	d := c.LocalDRAM + c.RemoteDRAM
+	if d <= 0 {
+		return 100
+	}
+	return c.LocalDRAM / d * 100
+}
+
+// DRAMAccesses returns the total DRAM-serviced accesses.
+func (c Counters) DRAMAccesses() float64 { return c.LocalDRAM + c.RemoteDRAM }
+
+// PTWL2MissSharePct returns the percent of all L2 misses caused by
+// page-table walks, the conservative component's TLB-pressure metric.
+func (c Counters) PTWL2MissSharePct() float64 {
+	total := c.DataL2Misses + c.PTWL2Misses
+	if total <= 0 {
+		return 0
+	}
+	return c.PTWL2Misses / total * 100
+}
+
+// MemoryIntensity returns DRAM accesses per (weighted) access; Carrefour
+// gates itself on this so it does not disturb cache-resident programs.
+func (c Counters) MemoryIntensity() float64 {
+	if c.Accesses <= 0 {
+		return 0
+	}
+	return c.DRAMAccesses() / c.Accesses
+}
+
+// PageMetrics are the §3.1 page-granularity metrics, computed from ground
+// truth at the current mapping granularity.
+type PageMetrics struct {
+	// PAMUPPct is the percent of all accesses going to the most-used page.
+	PAMUPPct float64
+	// NHP is the number of hot pages: pages receiving more than the hot
+	// threshold (6%) of all accesses.
+	NHP int
+	// PSPPct is the percent of accesses going to pages touched by at
+	// least two threads.
+	PSPPct float64
+	// TotalPages is the number of mapped pages considered.
+	TotalPages int
+}
+
+// HotPageThresholdPct is the paper's hot-page definition: a page with more
+// than 6% of total accesses (half of the 12.5% per-node share that would
+// perfectly balance an 8-node machine, §3.1 footnote 3).
+const HotPageThresholdPct = 6.0
+
+// ComputePageMetrics scans every mapped page of the address space.
+func ComputePageMetrics(space *vm.AddrSpace) PageMetrics {
+	var total, maxAcc, shared float64
+	var pages int
+	type hot struct{ acc float64 }
+	var accs []float64
+	for _, r := range space.Regions() {
+		r.ForEachPage(func(p vm.PageAccess) {
+			if p.Accesses == 0 {
+				return
+			}
+			a := float64(p.Accesses)
+			total += a
+			accs = append(accs, a)
+			pages++
+			if a > maxAcc {
+				maxAcc = a
+			}
+			if p.Threads >= 2 {
+				shared += a
+			}
+		})
+	}
+	m := PageMetrics{TotalPages: pages}
+	if total <= 0 {
+		return m
+	}
+	m.PAMUPPct = maxAcc / total * 100
+	m.PSPPct = shared / total * 100
+	for _, a := range accs {
+		if a/total*100 > HotPageThresholdPct {
+			m.NHP++
+		}
+	}
+	return m
+}
+
+// MaxFaultSharePct computes the maximum per-core share of time spent in
+// the page-fault handler over a window: faultCycles are per-core cycles
+// spent faulting during the window and windowCycles is its length.
+func MaxFaultSharePct(faultCycles []float64, windowCycles float64) float64 {
+	if windowCycles <= 0 {
+		return 0
+	}
+	return stats.Clamp(stats.Max(faultCycles)/windowCycles, 0, 1) * 100
+}
+
+// TotalFaultSeconds converts summed per-core fault cycles to seconds.
+func TotalFaultSeconds(faultCycles []float64, freqHz float64) float64 {
+	var sum float64
+	for _, c := range faultCycles {
+		sum += c
+	}
+	return sum / freqHz
+}

@@ -1,0 +1,131 @@
+package perf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/topo"
+	"repro/internal/vm"
+)
+
+func TestLARPct(t *testing.T) {
+	c := Counters{LocalDRAM: 30, RemoteDRAM: 70}
+	if c.LARPct() != 30 {
+		t.Fatalf("LAR = %v", c.LARPct())
+	}
+	if (Counters{}).LARPct() != 100 {
+		t.Fatal("no-traffic LAR should be 100")
+	}
+}
+
+func TestPTWShare(t *testing.T) {
+	c := Counters{DataL2Misses: 85, PTWL2Misses: 15}
+	if got := c.PTWL2MissSharePct(); math.Abs(got-15) > 1e-9 {
+		t.Fatalf("PTW share = %v", got)
+	}
+	if (Counters{}).PTWL2MissSharePct() != 0 {
+		t.Fatal("empty PTW share should be 0")
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a := Counters{Accesses: 10, LocalDRAM: 5, RemoteDRAM: 3, DataL2Misses: 2, PTWL2Misses: 1, TLBMisses: 4}
+	b := a
+	b.Add(a)
+	if b.Accesses != 20 || b.TLBMisses != 8 {
+		t.Fatalf("Add: %+v", b)
+	}
+	d := b.Sub(a)
+	if d != a {
+		t.Fatalf("Sub: %+v", d)
+	}
+}
+
+func TestMemoryIntensity(t *testing.T) {
+	c := Counters{Accesses: 100, LocalDRAM: 10, RemoteDRAM: 10}
+	if got := c.MemoryIntensity(); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("intensity = %v", got)
+	}
+}
+
+func buildSpace(t *testing.T) (*vm.AddrSpace, *vm.Region) {
+	t.Helper()
+	m := topo.MachineA()
+	phys := mem.NewSystem(m, mem.DefaultLatencyParams())
+	s := vm.NewAddrSpace(m, phys, vm.DefaultFaultParams())
+	s.AllocSize = func(*vm.Region, int) mem.PageSize { return mem.Size2M }
+	r := s.Mmap("heap", 16<<20, true)
+	return s, r
+}
+
+func TestPageMetricsHotPage(t *testing.T) {
+	s, r := buildSpace(t)
+	// Chunk 0: 94 accesses from thread 0. Chunk 1: 6 accesses from threads
+	// 1 and 2 (shared).
+	for i := 0; i < 94; i++ {
+		r.Access(0, 0, 0)
+	}
+	for i := 0; i < 3; i++ {
+		r.Access(6, 1, uint64(mem.Size2M))
+		r.Access(12, 2, uint64(mem.Size2M)+64)
+	}
+	pm := ComputePageMetrics(s)
+	if pm.TotalPages != 2 {
+		t.Fatalf("pages = %d", pm.TotalPages)
+	}
+	if math.Abs(pm.PAMUPPct-94) > 1e-9 {
+		t.Fatalf("PAMUP = %v", pm.PAMUPPct)
+	}
+	// Both pages exceed 6%: 94% and 6%... the second is exactly 6, not >6.
+	if pm.NHP != 1 {
+		t.Fatalf("NHP = %d, want 1 (94%% page only; 6%% is not >6%%)", pm.NHP)
+	}
+	if math.Abs(pm.PSPPct-6) > 1e-9 {
+		t.Fatalf("PSP = %v, want 6 (the shared page's accesses)", pm.PSPPct)
+	}
+}
+
+func TestPageMetricsEmpty(t *testing.T) {
+	s, _ := buildSpace(t)
+	pm := ComputePageMetrics(s)
+	if pm.TotalPages != 0 || pm.PAMUPPct != 0 || pm.NHP != 0 || pm.PSPPct != 0 {
+		t.Fatalf("empty metrics: %+v", pm)
+	}
+}
+
+func TestPageMetricsGranularityChange(t *testing.T) {
+	s, r := buildSpace(t)
+	// Two threads share one 2 MB page → PSP 100 at 2 MB granularity.
+	r.Access(0, 0, 0)
+	r.Access(6, 1, uint64(mem.Size4K)) // same chunk, different 4K sub
+	pm := ComputePageMetrics(s)
+	if pm.PSPPct != 100 {
+		t.Fatalf("2M PSP = %v", pm.PSPPct)
+	}
+	// After splitting, each thread touches its own 4 KB page → PSP 0.
+	r.SplitChunk(0, vm.DefaultOpCosts())
+	r.Access(0, 0, 0)
+	r.Access(6, 1, uint64(mem.Size4K))
+	pm = ComputePageMetrics(s)
+	if pm.PSPPct != 0 {
+		t.Fatalf("4K PSP = %v, want 0", pm.PSPPct)
+	}
+}
+
+func TestMaxFaultSharePct(t *testing.T) {
+	got := MaxFaultSharePct([]float64{10, 50, 20}, 100)
+	if got != 50 {
+		t.Fatalf("max fault share = %v", got)
+	}
+	if MaxFaultSharePct(nil, 0) != 0 {
+		t.Fatal("empty window should be 0")
+	}
+}
+
+func TestTotalFaultSeconds(t *testing.T) {
+	got := TotalFaultSeconds([]float64{1e9, 1e9}, 2e9)
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("fault seconds = %v", got)
+	}
+}

@@ -1,0 +1,170 @@
+// Package policy assembles the OS configurations the paper evaluates:
+//
+//	Linux4K      — default Linux with 4 KB pages (the baseline all
+//	               figures normalize to)
+//	THP          — Linux with Transparent Huge Pages (2 MB allocation and
+//	               khugepaged promotion)
+//	Carrefour2M  — THP plus the Carrefour placement daemon (§3.1)
+//	Conservative — Carrefour on 4 KB pages plus only the conservative
+//	               component of Carrefour-LP (Figure 4's "Conservative")
+//	Reactive     — THP, Carrefour, and only the reactive component
+//	               (Figure 4's "Reactive")
+//	CarrefourLP  — the full Algorithm 1 (§3.2)
+//	HugeTLB1G    — 1 GB pages established up front via hugetlbfs (§4.4)
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/carrefour"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/thp"
+	"repro/internal/topo"
+	"repro/internal/vm"
+)
+
+// osPolicy is the shared implementation of sim.OS.
+type osPolicy struct {
+	name string
+
+	attachTHP bool // run a THP subsystem at all
+	thpOn     bool // start with 2 MB allocation+promotion enabled
+	carrefour bool // run the plain Carrefour daemon
+	lpCons    bool // Carrefour-LP conservative component
+	lpReact   bool // Carrefour-LP reactive component
+	giant1G   bool // map every region with 1 GB pages at setup
+
+	thpSys *thp.THP
+	car    *carrefour.Carrefour
+	lp     *core.LP
+}
+
+// Name implements sim.OS.
+func (p *osPolicy) Name() string { return p.name }
+
+// Setup implements sim.OS.
+func (p *osPolicy) Setup(env *sim.Env) {
+	if p.attachTHP {
+		cfg := thp.DefaultConfig()
+		cfg.AllocEnabled = p.thpOn
+		cfg.PromoteEnabled = p.thpOn
+		p.thpSys = thp.New(env.Space, cfg, env.Costs)
+		env.THP = p.thpSys
+	}
+	if p.carrefour || p.lpCons || p.lpReact {
+		p.car = carrefour.New(carrefour.DefaultConfig())
+	}
+	if p.lpCons || p.lpReact {
+		p.lp = core.New(core.DefaultConfig(), p.car)
+		p.lp.Conservative = p.lpCons
+		p.lp.Reactive = p.lpReact
+		p.lp.Bind(p.thpSys)
+	}
+	if p.giant1G {
+		// hugetlbfs semantics: the gigantic pool is reserved up front
+		// from the master's node, before any worker touches memory.
+		node := env.Machine.NodeOf(0)
+		for _, r := range env.Space.Regions() {
+			for head := 0; head < r.NumChunks(); head += vm.ChunksPerGiant {
+				if err := r.MapGiant(head, node); err != nil {
+					// Pool exhausted on the node: fall back to other
+					// nodes, like a multi-node pool reservation.
+					fallback := false
+					for n := 0; n < env.Machine.Nodes; n++ {
+						if err := r.MapGiant(head, topo.NodeID(n)); err == nil {
+							fallback = true
+							break
+						}
+					}
+					if !fallback {
+						panic(fmt.Sprintf("policy: cannot reserve 1G page for %s: %v", r.Name, err))
+					}
+				}
+			}
+		}
+	}
+}
+
+// Tick implements sim.OS.
+func (p *osPolicy) Tick(env *sim.Env, now float64) float64 {
+	var overhead float64
+	if p.thpSys != nil {
+		overhead += p.thpSys.RunPromotionPass()
+	}
+	switch {
+	case p.lp != nil:
+		overhead += p.lp.MaybeTick(env, now)
+	case p.car != nil:
+		overhead += p.car.MaybeTick(env, now)
+	}
+	return overhead
+}
+
+// LP exposes the Carrefour-LP daemon (tests inspect its decisions).
+func (p *osPolicy) LP() *core.LP { return p.lp }
+
+// Carrefour exposes the placement daemon.
+func (p *osPolicy) Carrefour() *carrefour.Carrefour { return p.car }
+
+// THP exposes the THP subsystem.
+func (p *osPolicy) THP() *thp.THP { return p.thpSys }
+
+// Linux4K is default Linux with 4 KB pages.
+func Linux4K() sim.OS { return &osPolicy{name: "Linux4K"} }
+
+// THP is Linux with Transparent Huge Pages enabled.
+func THP() sim.OS { return &osPolicy{name: "THP", attachTHP: true, thpOn: true} }
+
+// Carrefour2M is THP plus Carrefour page placement.
+func Carrefour2M() sim.OS {
+	return &osPolicy{name: "Carrefour2M", attachTHP: true, thpOn: true, carrefour: true}
+}
+
+// Conservative is 4 KB Carrefour plus only the conservative component.
+func Conservative() sim.OS {
+	return &osPolicy{name: "Conservative", attachTHP: true, thpOn: false, lpCons: true}
+}
+
+// Reactive is THP plus Carrefour plus only the reactive component.
+func Reactive() sim.OS {
+	return &osPolicy{name: "Reactive", attachTHP: true, thpOn: true, lpReact: true}
+}
+
+// CarrefourLP is the full Algorithm 1.
+func CarrefourLP() sim.OS {
+	return &osPolicy{name: "CarrefourLP", attachTHP: true, thpOn: true, lpCons: true, lpReact: true}
+}
+
+// HugeTLB1G reserves 1 GB pages for every region up front (§4.4).
+func HugeTLB1G() sim.OS { return &osPolicy{name: "HugeTLB1G", giant1G: true} }
+
+// ByName constructs a fresh policy instance by name.
+func ByName(name string) (sim.OS, error) {
+	switch name {
+	case "Linux4K":
+		return Linux4K(), nil
+	case "THP":
+		return THP(), nil
+	case "Carrefour2M":
+		return Carrefour2M(), nil
+	case "Conservative":
+		return Conservative(), nil
+	case "Reactive":
+		return Reactive(), nil
+	case "CarrefourLP":
+		return CarrefourLP(), nil
+	case "HugeTLB1G":
+		return HugeTLB1G(), nil
+	default:
+		return nil, fmt.Errorf("policy: unknown policy %q", name)
+	}
+}
+
+// Names lists all policies.
+func Names() []string {
+	out := []string{"Linux4K", "THP", "Carrefour2M", "Conservative", "Reactive", "CarrefourLP", "HugeTLB1G"}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,152 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/topo"
+
+	"repro/internal/workloads"
+)
+
+func miniSpec() workloads.Spec {
+	return workloads.Spec{
+		Name: "mini",
+		Regions: []workloads.RegionSpec{
+			{Name: "r", Bytes: 2 << 30, Weight: 1, Loc: cache.RandomUniform,
+				Sharing: workloads.SharedAll, Init: workloads.InitStriped, InitTouchWeight: 64},
+		},
+		WorkPerThread:        1e5,
+		ExtraCyclesPerAccess: 4,
+		MLPOverlap:           0.5,
+	}
+}
+
+func setup(t *testing.T, pol sim.OS) *sim.Env {
+	t.Helper()
+	eng, err := sim.New(topo.MachineA(), miniSpec(), pol, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng.Env()
+}
+
+func TestByNameRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("ByName(%s).Name() = %s", name, p.Name())
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestLinux4KHasNoTHP(t *testing.T) {
+	env := setup(t, Linux4K())
+	if env.THP != nil {
+		t.Fatal("Linux4K attached a THP subsystem")
+	}
+	r := env.Space.Regions()[0]
+	if res := r.Access(0, 0, 0); res.PageSize != mem.Size4K {
+		t.Fatalf("Linux4K faulted a %v page", res.PageSize)
+	}
+}
+
+func TestTHPPolicyBacks2M(t *testing.T) {
+	env := setup(t, THP())
+	if env.THP == nil || !env.THP.AllocEnabled() || !env.THP.PromoteEnabled() {
+		t.Fatal("THP policy did not enable the subsystem")
+	}
+	r := env.Space.Regions()[0]
+	if res := r.Access(0, 0, 0); res.PageSize != mem.Size2M {
+		t.Fatalf("THP faulted a %v page", res.PageSize)
+	}
+}
+
+func TestConservativeStartsSmall(t *testing.T) {
+	pol := Conservative().(*osPolicy)
+	env := setup(t, pol)
+	if env.THP == nil {
+		t.Fatal("Conservative needs a THP subsystem (to enable later)")
+	}
+	if env.THP.AllocEnabled() {
+		t.Fatal("Conservative must start with 4K pages")
+	}
+	if pol.LP() == nil || pol.LP().Reactive || !pol.LP().Conservative {
+		t.Fatal("Conservative must run only the conservative component")
+	}
+}
+
+func TestReactiveStartsLarge(t *testing.T) {
+	pol := Reactive().(*osPolicy)
+	env := setup(t, pol)
+	if !env.THP.AllocEnabled() {
+		t.Fatal("Reactive must start with 2M pages (Algorithm 1 line 1)")
+	}
+	if pol.LP() == nil || pol.LP().Conservative || !pol.LP().Reactive {
+		t.Fatal("Reactive must run only the reactive component")
+	}
+}
+
+func TestCarrefourLPHasBothComponents(t *testing.T) {
+	pol := CarrefourLP().(*osPolicy)
+	env := setup(t, pol)
+	if !env.THP.AllocEnabled() || !env.THP.PromoteEnabled() {
+		t.Fatal("Carrefour-LP starts with allocation and promotion enabled")
+	}
+	lp := pol.LP()
+	if lp == nil || !lp.Conservative || !lp.Reactive {
+		t.Fatal("Carrefour-LP must run both components")
+	}
+	if pol.Carrefour() == nil {
+		t.Fatal("Carrefour-LP needs the placement daemon")
+	}
+}
+
+func TestCarrefour2MHasOnlyPlacement(t *testing.T) {
+	pol := Carrefour2M().(*osPolicy)
+	setup(t, pol)
+	if pol.LP() != nil {
+		t.Fatal("Carrefour2M must not run LP components")
+	}
+	if pol.Carrefour() == nil {
+		t.Fatal("Carrefour2M needs the placement daemon")
+	}
+}
+
+func TestHugeTLB1GMapsEverything(t *testing.T) {
+	env := setup(t, HugeTLB1G())
+	r := env.Space.Regions()[0]
+	_, _, n1g := r.MappedPages()
+	if n1g != 2 {
+		t.Fatalf("1G pages mapped = %d, want 2 (2 GiB region)", n1g)
+	}
+	res := r.Access(23, 23, 1<<30+5)
+	if res.Faulted || res.PageSize != mem.Size1G {
+		t.Fatalf("giant access: %+v", res)
+	}
+	// Everything reserved from the master's node.
+	if res.Node != 0 {
+		t.Fatalf("giant page on node %d, want 0", res.Node)
+	}
+}
+
+func TestPolicyTickRunsDaemons(t *testing.T) {
+	pol := CarrefourLP().(*osPolicy)
+	env := setup(t, pol)
+	r := env.Space.Regions()[0]
+	for ci := 0; ci < 8; ci++ {
+		r.Access(topo.CoreID(ci), ci, uint64(ci)*uint64(mem.Size2M))
+	}
+	// First LP interval runs and reports overhead.
+	if oh := pol.Tick(env, 1.0); oh <= 0 {
+		t.Fatal("CarrefourLP tick should consume cycles")
+	}
+}

@@ -1,0 +1,142 @@
+// Package report renders the paper's figures and tables as aligned text:
+// figures become labeled bar rows (one row per benchmark, one column per
+// policy series), tables keep the paper's exact row/column structure so
+// reproduction numbers can be compared side by side with the published
+// ones.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one plotted configuration (e.g. "THP", "Carrefour-LP").
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Figure is a bar-group chart: Labels name the benchmarks, each Series
+// holds one value per label.
+type Figure struct {
+	Title  string
+	YLabel string
+	Labels []string
+	Series []Series
+}
+
+// Render draws the figure as aligned text with a bar for each value.
+func (f Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	if f.YLabel != "" {
+		fmt.Fprintf(&b, "(%s)\n", f.YLabel)
+	}
+	labelW := 4
+	for _, l := range f.Labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	nameW := 4
+	for _, s := range f.Series {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	for i, label := range f.Labels {
+		for si, s := range f.Series {
+			head := ""
+			if si == 0 {
+				head = label
+			}
+			v := math.NaN()
+			if i < len(s.Values) {
+				v = s.Values[i]
+			}
+			fmt.Fprintf(&b, "  %-*s %-*s %+7.1f %s\n", labelW, head, nameW, s.Name, v, bar(v))
+		}
+	}
+	return b.String()
+}
+
+// bar renders a signed bar, one glyph per 4 units, capped at ±30 like the
+// paper's figure axes (values beyond the cap are annotated numerically).
+func bar(v float64) string {
+	if math.IsNaN(v) {
+		return "?"
+	}
+	capped := v
+	suffix := ""
+	if capped > 30 {
+		capped = 30
+		suffix = "▸"
+	}
+	if capped < -30 {
+		capped = -30
+		suffix = "◂"
+	}
+	n := int(math.Abs(capped)/4 + 0.5)
+	if v >= 0 {
+		return "|" + strings.Repeat("█", n) + suffix
+	}
+	return strings.Repeat("█", n) + suffix + "|"
+}
+
+// Table is a paper-style table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Render draws the table with aligned columns.
+func (t Table) Render() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	line := func(cells []string) {
+		b.WriteString("  ")
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+			} else {
+				b.WriteString(c + "  ")
+			}
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Pct formats a percentage cell.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+
+// Signed formats a signed improvement cell.
+func Signed(v float64) string { return fmt.Sprintf("%+.1f", v) }
+
+// Num formats a plain numeric cell.
+func Num(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// Ms formats a milliseconds cell from seconds.
+func Ms(seconds float64) string { return fmt.Sprintf("%.0fms", seconds*1000) }

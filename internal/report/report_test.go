@@ -1,0 +1,72 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigureRender(t *testing.T) {
+	f := Figure{
+		Title:  "Figure X",
+		YLabel: "improvement (%)",
+		Labels: []string{"CG.D", "UA.B"},
+		Series: []Series{
+			{Name: "THP", Values: []float64{-43, -10}},
+			{Name: "LP", Values: []float64{2, 108}},
+		},
+	}
+	out := f.Render()
+	for _, want := range []string{"Figure X", "CG.D", "UA.B", "THP", "LP", "-43.0", "+108.0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Values beyond ±30 are capped with a marker, like the paper's axes.
+	if !strings.Contains(out, "▸") || !strings.Contains(out, "◂") {
+		t.Fatalf("caps not marked:\n%s", out)
+	}
+}
+
+func TestFigureMissingValues(t *testing.T) {
+	f := Figure{
+		Labels: []string{"a", "b"},
+		Series: []Series{{Name: "s", Values: []float64{1}}},
+	}
+	if out := f.Render(); !strings.Contains(out, "?") {
+		t.Fatalf("missing value not marked:\n%s", out)
+	}
+}
+
+func TestTableRenderAligned(t *testing.T) {
+	tb := Table{
+		Title:  "Table Y",
+		Header: []string{"bench", "metric"},
+		Rows:   [][]string{{"CG.D", "1.0"}, {"verylongname", "2.0"}},
+	}
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	// The metric column must start at the same offset in every data row.
+	idx1 := strings.Index(lines[3], "1.0")
+	idx2 := strings.Index(lines[4], "2.0")
+	if idx1 != idx2 {
+		t.Fatalf("columns misaligned: %d vs %d\n%s", idx1, idx2, out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(12.34) != "12.3%" {
+		t.Fatal(Pct(12.34))
+	}
+	if Signed(5) != "+5.0" || Signed(-5) != "-5.0" {
+		t.Fatal("signed format wrong")
+	}
+	if Num(1.26) != "1.3" {
+		t.Fatal(Num(1.26))
+	}
+	if Ms(1.5) != "1500ms" {
+		t.Fatal(Ms(1.5))
+	}
+}

@@ -1,0 +1,139 @@
+// Package runner drives simulations: it resolves machine, workload and
+// policy names, runs (optionally host-parallel) sweeps, and computes the
+// relative improvements the paper's figures plot.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/workloads"
+)
+
+// Request names one run.
+type Request struct {
+	Machine  string // "A" or "B"
+	Workload string // paper benchmark name
+	Policy   string // see package policy
+	Seed     uint64
+	// Cfg overrides the engine configuration when non-nil.
+	Cfg *sim.Config
+}
+
+// MachineByName resolves the paper's machine names.
+func MachineByName(name string) (*topo.Machine, error) {
+	switch name {
+	case "A", "a":
+		return topo.MachineA(), nil
+	case "B", "b":
+		return topo.MachineB(), nil
+	default:
+		return nil, fmt.Errorf("runner: unknown machine %q (want A or B)", name)
+	}
+}
+
+// Run executes one simulation.
+func Run(req Request) (sim.Result, error) {
+	m, err := MachineByName(req.Machine)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	spec, err := workloads.ByName(req.Workload)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	pol, err := policy.ByName(req.Policy)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	cfg := sim.DefaultConfig()
+	if req.Cfg != nil {
+		cfg = *req.Cfg
+	}
+	if req.Seed != 0 {
+		cfg.Seed = req.Seed
+	}
+	eng, err := sim.New(m, spec, pol, cfg)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return eng.Run(), nil
+}
+
+// RunAll executes the requests with host parallelism (each simulation is
+// independent and deterministic, so results are reproducible regardless
+// of scheduling). Results are returned in request order; the first error
+// aborts.
+func RunAll(reqs []Request) ([]sim.Result, error) {
+	results := make([]sim.Result, len(reqs))
+	errs := make([]error, len(reqs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				results[i], errs[i] = Run(reqs[i])
+			}
+		}()
+	}
+	for i := range reqs {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// ImprovementPct is the paper's performance metric: percent improvement of
+// x over the baseline, computed from runtimes (positive = x is faster).
+func ImprovementPct(baseline, x sim.Result) float64 {
+	if x.RuntimeSeconds <= 0 {
+		return 0
+	}
+	return (baseline.RuntimeSeconds/x.RuntimeSeconds - 1) * 100
+}
+
+// Key identifies a result in a sweep map.
+type Key struct {
+	Machine, Workload, Policy string
+}
+
+// Sweep runs the cross product of the given dimensions and indexes the
+// results.
+func Sweep(machines, workloadNames, policies []string, seed uint64, cfg *sim.Config) (map[Key]sim.Result, error) {
+	var reqs []Request
+	for _, m := range machines {
+		for _, w := range workloadNames {
+			for _, p := range policies {
+				reqs = append(reqs, Request{Machine: m, Workload: w, Policy: p, Seed: seed, Cfg: cfg})
+			}
+		}
+	}
+	results, err := RunAll(reqs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[Key]sim.Result, len(results))
+	for i, r := range results {
+		out[Key{reqs[i].Machine, reqs[i].Workload, reqs[i].Policy}] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,625 @@
+// Package sim is the execution engine: it advances the benchmark's
+// threads through their access streams epoch by epoch, pricing every
+// access through the TLB, cache, memory-controller and interconnect
+// models, at full fidelity during allocation phases (every page fault is
+// taken individually, with lagged page-table-lock contention) and by
+// statistical sampling in steady state (each epoch prices a fixed number
+// of representative accesses per thread and scales thread progress by the
+// measured average cost).
+//
+// Contention is resolved with a lagged fixed point: controller and link
+// latencies for epoch t come from epoch t-1's request rates, mirroring the
+// feedback delay of real queueing (DESIGN.md §4.1).
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/ibs"
+	"repro/internal/interconnect"
+	"repro/internal/mem"
+	"repro/internal/perf"
+	"repro/internal/stats"
+	"repro/internal/thp"
+	"repro/internal/tlb"
+	"repro/internal/topo"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// Config tunes the engine.
+type Config struct {
+	// EpochSeconds is the simulation quantum.
+	EpochSeconds float64
+	// SteadySamples is the number of priced accesses per thread per epoch
+	// in steady state.
+	SteadySamples int
+	// AllocRoundCycles is the simulated-time slice each thread gets per
+	// allocation round before the engine rotates to the next thread.
+	// Interleaving by time (not by touch count) reproduces the race of
+	// parallel initialization: a thread stuck in an expensive fault falls
+	// behind while threads skipping already-mapped pages sprint ahead and
+	// claim the next chunks.
+	AllocRoundCycles float64
+	// MaxAllocPerEpoch bounds one thread's allocation touches per epoch.
+	MaxAllocPerEpoch int
+	// MaxSimSeconds aborts runaway simulations.
+	MaxSimSeconds float64
+	// WorkScale multiplies the workload's WorkPerThread (0 = 1.0); the
+	// benchmark harness uses fractional scales for quick regeneration
+	// passes.
+	WorkScale float64
+	// Seed drives all randomness.
+	Seed uint64
+	// IBS configures the hardware sampler.
+	IBS ibs.Config
+}
+
+// DefaultConfig returns the evaluation calibration.
+func DefaultConfig() Config {
+	return Config{
+		EpochSeconds:     0.05,
+		SteadySamples:    320,
+		AllocRoundCycles: 250000,
+		MaxAllocPerEpoch: 50000,
+		MaxSimSeconds:    900,
+		Seed:             1,
+		IBS:              ibs.DefaultConfig(),
+	}
+}
+
+// OS is the policy-side interface: a policy assembles the THP setting and
+// daemons (khugepaged, Carrefour, Carrefour-LP) for one run.
+type OS interface {
+	// Name labels the policy in reports.
+	Name() string
+	// Setup is called once after the address space exists and before the
+	// first access; policies install their THP subsystem here.
+	Setup(env *Env)
+	// Tick is called at the end of every epoch; policies run their
+	// daemons at their own intervals and return overhead cycles, which
+	// the engine steals from application budgets in the next epoch.
+	Tick(env *Env, now float64) float64
+}
+
+// Env is the hardware/OS context handed to policies.
+type Env struct {
+	Machine *topo.Machine
+	Phys    *mem.System
+	Fabric  *interconnect.Fabric
+	Space   *vm.AddrSpace
+	Sampler *ibs.Sampler
+	// THP is set by policies that run one (nil under pure 4 KB policies).
+	THP *thp.THP
+	// Costs prices page operations.
+	Costs vm.OpCosts
+	// Rng is the policy-side random stream (page interleaving).
+	Rng *stats.Rng
+
+	engine *Engine
+}
+
+// Snapshot captures cumulative counters so policies can compute
+// per-interval (window) metrics.
+type Snapshot struct {
+	Counters     perf.Counters
+	FaultCycles  []float64
+	CtrlRequests []float64
+	Cycles       float64
+}
+
+// Snapshot returns the current cumulative state.
+func (env *Env) Snapshot() Snapshot {
+	e := env.engine
+	fc := env.Space.FaultCyclesAll()
+	for c, extra := range e.churnFault {
+		fc[c] += extra
+	}
+	return Snapshot{
+		Counters:     e.counters,
+		FaultCycles:  fc,
+		CtrlRequests: env.Phys.TotalRequests(),
+		Cycles:       e.nowCycles,
+	}
+}
+
+// WindowMetrics are the hardware-visible interval metrics Algorithm 1
+// consumes.
+type WindowMetrics struct {
+	LARPct           float64
+	ImbalancePct     float64
+	PTWSharePct      float64
+	MaxFaultSharePct float64
+	MemIntensity     float64
+	DRAMAccesses     float64
+}
+
+// Window computes metrics for the interval between two snapshots.
+func Window(from, to Snapshot) WindowMetrics {
+	d := to.Counters.Sub(from.Counters)
+	var m WindowMetrics
+	m.LARPct = d.LARPct()
+	m.PTWSharePct = d.PTWL2MissSharePct()
+	m.MemIntensity = d.MemoryIntensity()
+	m.DRAMAccesses = d.DRAMAccesses()
+	rates := make([]float64, len(to.CtrlRequests))
+	for i := range rates {
+		rates[i] = to.CtrlRequests[i]
+		if i < len(from.CtrlRequests) {
+			rates[i] -= from.CtrlRequests[i]
+		}
+	}
+	m.ImbalancePct = stats.ImbalancePct(rates)
+	window := to.Cycles - from.Cycles
+	if window > 0 {
+		diff := make([]float64, len(to.FaultCycles))
+		for i := range diff {
+			diff[i] = to.FaultCycles[i]
+			if i < len(from.FaultCycles) {
+				diff[i] -= from.FaultCycles[i]
+			}
+		}
+		m.MaxFaultSharePct = perf.MaxFaultSharePct(diff, window)
+	}
+	return m
+}
+
+// Result summarizes one run.
+type Result struct {
+	Workload string
+	Policy   string
+	Machine  string
+
+	// RuntimeSeconds is the simulated completion time (the paper's
+	// performance metric: improvements are runtime ratios).
+	RuntimeSeconds float64
+	TimedOut       bool
+	Epochs         int
+
+	Counters     perf.Counters
+	LARPct       float64
+	ImbalancePct float64
+	PTWSharePct  float64
+	// MaxFaultSharePct is the maximum per-core fraction of time in the
+	// page-fault handler; MaxCoreFaultSeconds is the corresponding
+	// absolute time (Table 1's "time spent in page fault handler").
+	MaxFaultSharePct    float64
+	MaxCoreFaultSeconds float64
+
+	PageMetrics perf.PageMetrics
+
+	DaemonOverheadCycles float64
+	IBSSamplesTaken      uint64
+	FaultCounts          [3]uint64 // 4K, 2M, 1G
+}
+
+// Engine runs one (machine, workload, policy) simulation.
+type Engine struct {
+	cfg     Config
+	machine *topo.Machine
+	wl      *workloads.Instance
+	os      OS
+	env     *Env
+
+	hier     cache.Hierarchy
+	tlbModel *tlb.Model
+	rng      *stats.Rng
+
+	threads        int
+	stolen         []float64 // cycles owed (daemon overhead, budget overrun)
+	progress       []float64
+	finishTime     []float64
+	nowCycles      float64
+	counters       perf.Counters
+	churnFault     []float64 // synthetic (churn) fault cycles per core
+	overhead       float64
+	resetAtBarrier bool
+
+	// scratch buffers reused across epochs
+	profiles  []cache.LevelProbs
+	counts    []workloads.PageCounts
+	dramSrc   []topo.NodeID
+	dramHome  []topo.NodeID
+	pendSamps []ibs.Sample
+}
+
+// New builds an engine for spec on machine m under policy os.
+func New(m *topo.Machine, spec workloads.Spec, policy OS, cfg Config) (*Engine, error) {
+	phys := mem.NewSystem(m, mem.LatencyParamsFor(m.Name))
+	fabric := interconnect.New(m, interconnect.DefaultParams())
+	space := vm.NewAddrSpace(m, phys, vm.DefaultFaultParams())
+	wl, err := workloads.Build(spec, space, m)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:      cfg,
+		machine:  m,
+		wl:       wl,
+		os:       policy,
+		hier:     cache.Default(),
+		tlbModel: tlb.NewModel(tlb.DefaultConfig()),
+		rng:      stats.NewRng(cfg.Seed),
+		threads:  m.TotalCores(),
+	}
+	e.env = &Env{
+		Machine: m,
+		Phys:    phys,
+		Fabric:  fabric,
+		Space:   space,
+		Sampler: ibs.NewSampler(cfg.IBS, m.Nodes),
+		Costs:   vm.DefaultOpCosts(),
+		Rng:     e.rng.Split(0xfeed),
+		engine:  e,
+	}
+	e.stolen = make([]float64, e.threads)
+	e.progress = make([]float64, e.threads)
+	e.finishTime = make([]float64, e.threads)
+	for i := range e.finishTime {
+		e.finishTime[i] = -1
+	}
+	e.churnFault = make([]float64, e.threads)
+	e.profiles = make([]cache.LevelProbs, len(wl.Regions))
+	e.counts = make([]workloads.PageCounts, len(wl.Regions))
+	e.dramSrc = make([]topo.NodeID, 0, cfg.SteadySamples)
+	e.dramHome = make([]topo.NodeID, 0, cfg.SteadySamples)
+	policy.Setup(e.env)
+	return e, nil
+}
+
+// Env exposes the engine's environment (examples and tests use it).
+func (e *Engine) Env() *Env { return e.env }
+
+// Workload exposes the built workload instance.
+func (e *Engine) Workload() *workloads.Instance { return e.wl }
+
+func (e *Engine) core(t int) topo.CoreID { return topo.CoreID(t) }
+
+// Run executes the simulation to completion and returns the result.
+func (e *Engine) Run() Result {
+	epochCycles := e.cfg.EpochSeconds * e.machine.FreqHz
+	maxEpochs := int(e.cfg.MaxSimSeconds / e.cfg.EpochSeconds)
+	timedOut := true
+	epoch := 0
+	for ; epoch < maxEpochs; epoch++ {
+		if e.runEpoch(epoch, epochCycles) {
+			timedOut = false
+			epoch++
+			break
+		}
+	}
+	runtime := 0.0
+	for t := 0; t < e.threads; t++ {
+		if e.finishTime[t] > runtime {
+			runtime = e.finishTime[t]
+		}
+	}
+	if timedOut {
+		runtime = float64(epoch) * e.cfg.EpochSeconds
+	}
+	res := Result{
+		Workload:             e.wl.Spec.Name,
+		Policy:               e.os.Name(),
+		Machine:              e.machine.Name,
+		RuntimeSeconds:       runtime,
+		TimedOut:             timedOut,
+		Epochs:               epoch,
+		Counters:             e.counters,
+		LARPct:               e.counters.LARPct(),
+		ImbalancePct:         e.env.Phys.ImbalancePct(),
+		PTWSharePct:          e.counters.PTWL2MissSharePct(),
+		PageMetrics:          perf.ComputePageMetrics(e.env.Space),
+		DaemonOverheadCycles: e.overhead,
+	}
+	fc := e.env.Space.FaultCyclesAll()
+	for c := range fc {
+		fc[c] += e.churnFault[c]
+	}
+	runtimeCycles := runtime * e.machine.FreqHz
+	res.MaxFaultSharePct = perf.MaxFaultSharePct(fc, runtimeCycles)
+	res.MaxCoreFaultSeconds = stats.Max(fc) / e.machine.FreqHz
+	taken, _ := e.env.Sampler.Stats()
+	res.IBSSamplesTaken = taken
+	n4, n2, n1 := e.env.Space.FaultCounts()
+	res.FaultCounts = [3]uint64{n4, n2, n1}
+	return res
+}
+
+// runEpoch simulates one epoch; it reports whether the workload finished.
+func (e *Engine) runEpoch(epoch int, epochCycles float64) bool {
+	e.env.Space.BeginEpoch()
+	// Refresh per-epoch derived state (page census, cache profiles, TLB
+	// assessment — identical across threads by symmetry).
+	for ri, br := range e.wl.Regions {
+		n4, n2, n1 := br.VM.MappedPages()
+		e.counts[ri] = workloads.PageCounts{N4K: n4, N2M: n2, N1G: n1}
+		e.profiles[ri] = e.wl.CacheProfile(ri, e.hier)
+	}
+	assess := e.tlbModel.Assess(e.wl.TLBSegments(0, e.counts))
+
+	budgets := make([]float64, e.threads)
+	for t := range budgets {
+		budgets[t] = epochCycles - e.stolen[t]
+		e.stolen[t] = 0
+	}
+
+	e.runAllocRounds(epoch, budgets)
+
+	// Initialization barrier: steady-state work starts only once every
+	// thread has finished its allocation phase, as in the real programs.
+	barrier := e.wl.AllocAllDone()
+	if barrier && !e.resetAtBarrier {
+		// Ground-truth page metrics (PAMUP/NHP/PSP) describe steady-state
+		// behaviour; exclude the first-touch pass, whose weight is
+		// inflated by the scaled-down run lengths.
+		e.env.Space.ResetAccessCounters()
+		e.resetAtBarrier = true
+	}
+	done := true
+	for t := 0; t < e.threads; t++ {
+		if e.finishTime[t] >= 0 {
+			continue
+		}
+		if !barrier {
+			done = false
+			continue
+		}
+		if budgets[t] <= 0 {
+			e.stolen[t] = -budgets[t]
+			done = false
+			continue
+		}
+		finished := e.runSteady(t, epoch, epochCycles, budgets, assess)
+		if !finished {
+			done = false
+		}
+	}
+	e.env.Phys.EndEpoch(epochCycles)
+	e.env.Fabric.EndEpoch(epochCycles)
+	e.nowCycles += epochCycles
+	now := e.nowCycles / e.machine.FreqHz
+	oh := e.os.Tick(e.env, now)
+	if oh > 0 {
+		e.overhead += oh
+		per := oh / float64(e.threads)
+		for t := range e.stolen {
+			e.stolen[t] += per
+		}
+	}
+	return done
+}
+
+// runAllocRounds advances allocation phases in small per-thread time
+// slices so faulting threads genuinely contend. The visit order is
+// re-shuffled every round: which thread wins the race to an unclaimed
+// chunk is timing noise on real hardware, not a function of thread ids.
+func (e *Engine) runAllocRounds(epoch int, budgets []float64) {
+	active := make([]int, 0, e.threads)
+	allocCount := make([]int, e.threads)
+	for t := 0; t < e.threads; t++ {
+		if !e.wl.AllocDone(t) && budgets[t] > 0 {
+			active = append(active, t)
+		}
+	}
+	round := 0
+	for len(active) > 0 {
+		shuffleRng := e.rng.Split(0xa110c<<20 | uint64(epoch)<<8 | uint64(round&0xff))
+		for i := len(active) - 1; i > 0; i-- {
+			j := shuffleRng.Intn(i + 1)
+			active[i], active[j] = active[j], active[i]
+		}
+		round++
+		next := active[:0]
+		for _, t := range active {
+			var spent float64
+			for spent < e.cfg.AllocRoundCycles {
+				if budgets[t] <= 0 || allocCount[t] >= e.cfg.MaxAllocPerEpoch {
+					break
+				}
+				touch, ok := e.wl.NextAlloc(t)
+				if !ok {
+					break
+				}
+				allocCount[t]++
+				res := touch.Region.VM.Access(e.core(t), t, touch.Off)
+				node := res.Node
+				src := e.machine.NodeOf(e.core(t))
+				// Initialization is a streaming write pass: one DRAM line
+				// fill per 8 accesses.
+				const dramFrac = 0.125
+				lat := e.env.Phys.Latency(node) + e.env.Fabric.Latency(src, node)
+				per := 4 + dramFrac*lat*(1-e.wl.Spec.MLPOverlap)
+				cost := res.FaultCycles + touch.Weight*per
+				budgets[t] -= cost
+				spent += cost
+				reqs := touch.Weight * dramFrac
+				e.env.Phys.Record(node, reqs)
+				e.env.Fabric.Record(src, node, reqs)
+				e.counters.Accesses += touch.Weight
+				if src == node {
+					e.counters.LocalDRAM += reqs
+				} else {
+					e.counters.RemoteDRAM += reqs
+				}
+				e.counters.DataL2Misses += reqs
+			}
+			if !e.wl.AllocDone(t) && budgets[t] > 0 && allocCount[t] < e.cfg.MaxAllocPerEpoch {
+				next = append(next, t)
+			}
+		}
+		active = next
+	}
+}
+
+// runSteady prices one thread's steady-state epoch; returns whether the
+// thread finished its work.
+func (e *Engine) runSteady(t, epoch int, epochCycles float64, budgets []float64, assess tlb.Assessment) bool {
+	rng := e.rng.Split(uint64(epoch)<<20 | uint64(t)<<1 | 1)
+	spec := e.wl.Spec
+	tlbCfg := e.tlbModel.Cfg
+	core := e.core(t)
+	src := e.machine.NodeOf(core)
+	startBudget := budgets[t]
+
+	// Expected IBS interrupt overhead per access.
+	ibsPerAccess := e.cfg.IBS.Rate * e.cfg.IBS.CyclesPerSample
+
+	e.dramSrc = e.dramSrc[:0]
+	e.dramHome = e.dramHome[:0]
+	e.pendSamps = e.pendSamps[:0]
+
+	work := spec.WorkPerThread
+	if e.cfg.WorkScale > 0 {
+		work *= e.cfg.WorkScale
+	}
+	phase := e.wl.PhaseAt(e.progress[t] / work)
+
+	var sumCost, faultDirect float64
+	var local, remote, dataL2, ptwL2, tlbMiss, churnCycles float64
+	K := e.cfg.SteadySamples
+	for i := 0; i < K; i++ {
+		acc := e.wl.NextSteadyPhase(t, rng, phase)
+		br := e.wl.Regions[acc.RegionIdx]
+		res := br.VM.Access(core, t, acc.Off)
+		if res.Faulted {
+			faultDirect += res.FaultCycles
+		}
+		cost := spec.ExtraCyclesPerAccess + ibsPerAccess
+
+		// Translation.
+		u := rng.Float64()
+		if u >= assess.L1Hit {
+			if u < assess.L1Hit+assess.L2Hit {
+				cost += tlbCfg.L2HitCycles
+			} else {
+				cost += assess.WalkCycles
+				tlbMiss++
+				ptwL2 += assess.WalkL2Misses
+			}
+		}
+
+		// Allocation churn (expectation per access).
+		if br.Spec.ChurnPer1K > 0 {
+			cc := e.churnCostPerAccess(br)
+			cost += cc
+			churnCycles += cc
+			e.env.Space.MarkFaulter(core)
+		}
+
+		// Cache hierarchy.
+		p := e.profiles[acc.RegionIdx]
+		v := rng.Float64()
+		switch {
+		case v < p.L1:
+			cost += e.hier.L1Cycles
+		case v < p.L1+p.L2:
+			cost += e.hier.L2Cycles
+		case v < p.L1+p.L2+p.L3:
+			cost += e.hier.L3Cycles
+			dataL2++
+		default:
+			dataL2++
+			home := res.Node
+			lat := e.env.Phys.Latency(home) + e.env.Fabric.Latency(src, home)
+			cost += lat * (1 - spec.MLPOverlap)
+			e.dramSrc = append(e.dramSrc, src)
+			e.dramHome = append(e.dramHome, home)
+			if src == home {
+				local++
+			} else {
+				remote++
+			}
+			if rng.Bernoulli(e.cfg.IBS.RecordRate) {
+				e.pendSamps = append(e.pendSamps, ibs.Sample{
+					Page: res.Page, Off: acc.Off, Thread: t, Core: core,
+					AccessorNode: src, HomeNode: home, DRAM: true,
+				})
+			}
+		}
+		sumCost += cost
+	}
+
+	budgets[t] -= faultDirect
+	if budgets[t] <= 0 {
+		e.stolen[t] = -budgets[t]
+		return false
+	}
+	avg := sumCost / float64(K)
+	if avg <= 0 {
+		avg = 1
+	}
+	realAccesses := budgets[t] / avg
+	remaining := work - e.progress[t]
+	// Do not run past the next phase boundary: the new mix must be
+	// re-priced before it contributes progress.
+	if next := e.wl.NextPhaseBoundary(phase); next > 0 {
+		if left := next*work - e.progress[t]; left > 0 && realAccesses > left {
+			realAccesses = left
+		}
+	}
+	finished := false
+	if realAccesses >= remaining {
+		realAccesses = remaining
+		used := startBudget - budgets[t] + realAccesses*avg
+		frac := used / epochCycles
+		if frac > 1 {
+			frac = 1
+		}
+		e.finishTime[t] = e.nowCycles/e.machine.FreqHz + frac*e.cfg.EpochSeconds
+		finished = true
+	} else {
+		budgets[t] = 0
+	}
+	e.progress[t] += realAccesses
+	scale := realAccesses / float64(K)
+
+	// Flush scaled events into the shared models.
+	for i := range e.dramSrc {
+		e.env.Phys.Record(e.dramHome[i], scale)
+		e.env.Fabric.Record(e.dramSrc[i], e.dramHome[i], scale)
+	}
+	for _, s := range e.pendSamps {
+		s.Weight = scale
+		e.env.Sampler.Record(s)
+	}
+	e.counters.Accesses += realAccesses
+	e.counters.LocalDRAM += local * scale
+	e.counters.RemoteDRAM += remote * scale
+	e.counters.DataL2Misses += dataL2 * scale
+	e.counters.PTWL2Misses += ptwL2 * scale
+	e.counters.TLBMisses += tlbMiss * scale
+	e.churnFault[core] += churnCycles * scale
+	return finished
+}
+
+// churnCostPerAccess prices allocation churn in expectation: fresh pages
+// are faulted at ChurnPer1K per thousand accesses when running on 4 KB
+// pages; when THP backs the region, ChurnTHPFrac of that memory arrives in
+// 2 MB pages (1/512 the faults, each costing a 2 MB fault).
+func (e *Engine) churnCostPerAccess(br *workloads.BuiltRegion) float64 {
+	rate := br.Spec.ChurnPer1K / 1000
+	if rate <= 0 {
+		return 0
+	}
+	space := e.env.Space
+	huge := false
+	if br.VM.THPEligible && space.AllocSize(br.VM, 0) == mem.Size2M {
+		huge = true
+	}
+	c4 := space.FaultCostFor(mem.Size4K)
+	if !huge {
+		return rate * c4
+	}
+	f := br.Spec.ChurnTHPFrac
+	// 2 MB churn faults are 512× rarer, so the page-table lock is held far
+	// less often: the contention term collapses along with the rate.
+	lockWait := c4 - space.Faults.Base4K
+	c2 := space.Faults.Base2M + lockWait/16
+	return rate * ((1-f)*c4 + f/float64(vm.SubsPerChunk)*c2)
+}
+
+// String renders a short description of the engine setup.
+func (e *Engine) String() string {
+	return fmt.Sprintf("sim(%s, %s, machine %s)", e.wl.Spec.Name, e.os.Name(), e.machine.Name)
+}

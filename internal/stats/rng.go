@@ -1,0 +1,120 @@
+// Package stats provides deterministic random number generation and the
+// small set of statistics used throughout the simulator: means, standard
+// deviations, the paper's "imbalance" metric (standard deviation of
+// per-controller request rates expressed as a percent of the mean), and
+// online accumulators.
+//
+// All randomness in the repository flows from Rng values so that a
+// simulation is a pure function of (machine, workload, policy, seed).
+package stats
+
+// Rng is a small, fast, deterministic pseudo-random generator based on
+// splitmix64. It is not safe for concurrent use; callers that need
+// parallelism derive independent streams with Split.
+type Rng struct {
+	state uint64
+}
+
+// NewRng returns a generator seeded with seed. Two generators constructed
+// with equal seeds produce identical streams.
+func NewRng(seed uint64) *Rng {
+	// Avoid the all-zero fixed point and decorrelate small seeds.
+	return &Rng{state: seed*0x9E3779B97F4A7C15 + 0x243F6A8885A308D3}
+}
+
+// Split derives an independent generator from r and label without
+// disturbing r's own stream. Equal (r state, label) pairs yield equal
+// children, which lets the simulator hand a stable stream to every
+// (thread, epoch) pair regardless of scheduling order.
+func (r *Rng) Split(label uint64) *Rng {
+	// Mix the current state with the label through one splitmix round,
+	// but do not advance r: Split must be order-independent.
+	z := r.state ^ (label+0x9E3779B97F4A7C15)*0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return &Rng{state: z ^ (z >> 31) | 1}
+}
+
+// Uint64 returns the next value in the stream.
+func (r *Rng) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a value uniformly distributed in [0, 1).
+func (r *Rng) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a value uniformly distributed in [0, n). It panics if n <= 0.
+func (r *Rng) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn called with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a value uniformly distributed in [0, n) for int64 n > 0.
+func (r *Rng) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("stats: Int63n called with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Bernoulli reports true with probability p (clamped to [0, 1]).
+func (r *Rng) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Zipf draws a rank in [0, n) under a truncated Zipf distribution with
+// exponent s using inverse-CDF sampling over a precomputed table-free
+// approximation. It is used by workload generators to concentrate accesses
+// on hot elements. For s == 0 the draw is uniform.
+func (r *Rng) Zipf(n int, s float64) int {
+	if n <= 1 {
+		return 0
+	}
+	if s <= 0 {
+		return r.Intn(n)
+	}
+	// Inverse-CDF of the continuous bounded Pareto approximation of the
+	// Zipf distribution. This avoids per-draw harmonic sums while keeping
+	// the characteristic head-heavy shape.
+	u := r.Float64()
+	if s == 1 {
+		// CDF(x) = ln(x+1)/ln(n+1)
+		x := pow(float64(n)+1, u) - 1
+		k := int(x)
+		if k >= n {
+			k = n - 1
+		}
+		return k
+	}
+	oneMinusS := 1 - s
+	nn := pow(float64(n)+1, oneMinusS)
+	x := pow(u*(nn-1)+1, 1/oneMinusS) - 1
+	k := int(x)
+	if k >= n {
+		k = n - 1
+	}
+	if k < 0 {
+		k = 0
+	}
+	return k
+}
+
+// pow is a minimal x**y for positive x implemented with exp/log from the
+// stdlib math package; kept in a helper so Zipf stays readable.
+func pow(x, y float64) float64 {
+	return mathPow(x, y)
+}

@@ -1,0 +1,114 @@
+package stats
+
+import "math"
+
+// mathPow is math.Pow; aliased so rng.go does not import math directly.
+var mathPow = math.Pow
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs, or 0 when xs has
+// fewer than two elements.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// ImbalancePct is the paper's traffic-imbalance metric: the standard
+// deviation of the per-controller request rates expressed as a percent of
+// the mean rate (§2.1). A perfectly balanced system scores 0. When the mean
+// is zero (no traffic) the imbalance is defined as 0.
+func ImbalancePct(rates []float64) float64 {
+	m := Mean(rates)
+	if m <= 0 {
+		return 0
+	}
+	return StdDev(rates) / m * 100
+}
+
+// Max returns the maximum of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	max := xs[0]
+	for _, x := range xs[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+// Min returns the minimum of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	min := xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+	}
+	return min
+}
+
+// Clamp bounds x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Online accumulates a running mean and variance using Welford's method.
+// The zero value is ready to use.
+type Online struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds x into the accumulator.
+func (o *Online) Add(x float64) {
+	o.n++
+	d := x - o.mean
+	o.mean += d / float64(o.n)
+	o.m2 += d * (x - o.mean)
+}
+
+// N returns the number of samples seen.
+func (o *Online) N() int { return o.n }
+
+// Mean returns the running mean, or 0 before any samples.
+func (o *Online) Mean() float64 { return o.mean }
+
+// StdDev returns the running population standard deviation.
+func (o *Online) StdDev() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return math.Sqrt(o.m2 / float64(o.n))
+}

@@ -1,0 +1,218 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRngDeterminism(t *testing.T) {
+	a, b := NewRng(42), NewRng(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRngDifferentSeedsDiffer(t *testing.T) {
+	a, b := NewRng(1), NewRng(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical values", same)
+	}
+}
+
+func TestSplitIsOrderIndependent(t *testing.T) {
+	r := NewRng(7)
+	c1 := r.Split(10)
+	c2 := r.Split(20)
+	// Splitting again with the same labels must reproduce the children.
+	d1 := r.Split(10)
+	d2 := r.Split(20)
+	if c1.Uint64() != d1.Uint64() || c2.Uint64() != d2.Uint64() {
+		t.Fatal("Split is not a pure function of (state, label)")
+	}
+}
+
+func TestSplitChildrenIndependent(t *testing.T) {
+	r := NewRng(7)
+	c1 := r.Split(1)
+	c2 := r.Split(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("children share %d/100 values", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRng(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n uint16) bool {
+		if n == 0 {
+			return true
+		}
+		r := NewRng(seed)
+		v := r.Intn(int(n))
+		return v >= 0 && v < int(n)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := NewRng(1)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := NewRng(11)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) rate = %v", got)
+	}
+}
+
+func TestZipfHeadHeavy(t *testing.T) {
+	r := NewRng(5)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[r.Zipf(100, 1.0)]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("Zipf not head-heavy: rank0=%d rank50=%d", counts[0], counts[50])
+	}
+	// Every draw in range by construction; rank 0 should dominate clearly.
+	if counts[0] < 5*counts[99] {
+		t.Fatalf("Zipf tail too heavy: rank0=%d rank99=%d", counts[0], counts[99])
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n uint8, s uint8) bool {
+		r := NewRng(seed)
+		nn := int(n%64) + 1
+		v := r.Zipf(nn, float64(s%3))
+		return v >= 0 && v < nn
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	r := NewRng(9)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[r.Zipf(10, 0)]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)-10000) > 600 {
+			t.Fatalf("Zipf(s=0) not uniform: rank %d count %d", i, c)
+		}
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean = %v, want 5", m)
+	}
+	if s := StdDev(xs); math.Abs(s-2) > 1e-12 {
+		t.Fatalf("StdDev = %v, want 2", s)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Fatal("empty aggregates should be 0")
+	}
+}
+
+func TestImbalancePct(t *testing.T) {
+	if v := ImbalancePct([]float64{10, 10, 10, 10}); v != 0 {
+		t.Fatalf("balanced imbalance = %v, want 0", v)
+	}
+	v := ImbalancePct([]float64{0, 0, 0, 40})
+	// mean=10, stddev=sqrt((100*3+900)/4)=sqrt(300)≈17.32 → 173.2%
+	if math.Abs(v-173.205) > 0.01 {
+		t.Fatalf("imbalance = %v, want ≈173.2", v)
+	}
+	if ImbalancePct([]float64{0, 0}) != 0 {
+		t.Fatal("zero-traffic imbalance should be 0")
+	}
+}
+
+func TestImbalanceScaleInvariant(t *testing.T) {
+	if err := quick.Check(func(a, b, c uint16) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		ys := []float64{xs[0] * 7, xs[1] * 7, xs[2] * 7}
+		return math.Abs(ImbalancePct(xs)-ImbalancePct(ys)) < 1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 100}
+	var o Online
+	for _, x := range xs {
+		o.Add(x)
+	}
+	if math.Abs(o.Mean()-Mean(xs)) > 1e-9 {
+		t.Fatalf("online mean %v != batch %v", o.Mean(), Mean(xs))
+	}
+	if math.Abs(o.StdDev()-StdDev(xs)) > 1e-9 {
+		t.Fatalf("online stddev %v != batch %v", o.StdDev(), StdDev(xs))
+	}
+	if o.N() != len(xs) {
+		t.Fatalf("N = %d", o.N())
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("Clamp misbehaved")
+	}
+}
+
+func TestMaxMin(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if Max(xs) != 5 || Min(xs) != 1 {
+		t.Fatal("Max/Min misbehaved")
+	}
+	if Max(nil) != 0 || Min(nil) != 0 {
+		t.Fatal("empty Max/Min should be 0")
+	}
+}

@@ -1,0 +1,139 @@
+// Package thp implements Transparent Huge Pages as the paper uses them
+// (§2.1): allocations of anonymous memory are backed by 2 MB pages
+// whenever 2 MB allocation is enabled, and a khugepaged-style daemon
+// periodically scans for chunks whose 4 KB pages can be consolidated into
+// a 2 MB page ("promotion", checked every 10 ms in the paper's setup).
+//
+// The two switches — 2 MB allocation and 2 MB promotion — are exactly the
+// knobs Carrefour-LP's Algorithm 1 toggles (lines 4-9 and 15-18).
+package thp
+
+import (
+	"repro/internal/mem"
+	"repro/internal/vm"
+)
+
+// Config tunes the THP subsystem.
+type Config struct {
+	// AllocEnabled backs anonymous-memory faults with 2 MB pages.
+	AllocEnabled bool
+	// PromoteEnabled lets the promotion daemon consolidate 4 KB pages.
+	PromoteEnabled bool
+	// PromoteMinSubs is the number of mapped 4 KB pages a chunk needs
+	// before promotion is attempted (khugepaged fills small holes).
+	PromoteMinSubs int
+	// PromoteMaxPerPass bounds the chunks promoted per daemon pass, like
+	// khugepaged's scan quantum.
+	PromoteMaxPerPass int
+	// IntervalSeconds is the promotion check period (10 ms in the paper).
+	IntervalSeconds float64
+}
+
+// DefaultConfig returns THP-on defaults matching the paper's setup.
+func DefaultConfig() Config {
+	return Config{
+		AllocEnabled:      true,
+		PromoteEnabled:    true,
+		PromoteMinSubs:    448, // allow up to 64 unmapped holes out of 512
+		PromoteMaxPerPass: 5,
+		IntervalSeconds:   0.010,
+	}
+}
+
+// THP drives huge-page backing for one address space.
+type THP struct {
+	Cfg   Config
+	Space *vm.AddrSpace
+	Costs vm.OpCosts
+
+	// scan cursor so passes resume where they left off, like khugepaged.
+	cursorRegion int
+	cursorChunk  int
+
+	promoted uint64
+}
+
+// New attaches a THP subsystem to an address space and installs its
+// allocation-size hook.
+func New(space *vm.AddrSpace, cfg Config, costs vm.OpCosts) *THP {
+	t := &THP{Cfg: cfg, Space: space, Costs: costs}
+	space.AllocSize = t.allocSize
+	return t
+}
+
+// allocSize is the fault-path hook: 2 MB for THP-eligible regions while
+// allocation is enabled, 4 KB otherwise.
+func (t *THP) allocSize(r *vm.Region, _ int) mem.PageSize {
+	if t.Cfg.AllocEnabled && r.THPEligible {
+		return mem.Size2M
+	}
+	return mem.Size4K
+}
+
+// SetAllocEnabled toggles 2 MB page allocation (Algorithm 1 lines 5, 8, 17).
+func (t *THP) SetAllocEnabled(on bool) { t.Cfg.AllocEnabled = on }
+
+// SetPromoteEnabled toggles 2 MB page promotion (Algorithm 1 line 6).
+func (t *THP) SetPromoteEnabled(on bool) { t.Cfg.PromoteEnabled = on }
+
+// AllocEnabled reports whether 2 MB allocation is currently on.
+func (t *THP) AllocEnabled() bool { return t.Cfg.AllocEnabled }
+
+// PromoteEnabled reports whether 2 MB promotion is currently on.
+func (t *THP) PromoteEnabled() bool { return t.Cfg.PromoteEnabled }
+
+// Promoted returns the number of chunks promoted so far.
+func (t *THP) Promoted() uint64 { return t.promoted }
+
+// RunPromotionPass performs one khugepaged scan: it promotes up to
+// PromoteMaxPerPass sufficiently-mapped 4 KB chunks of THP-eligible
+// regions into 2 MB pages on their dominant node, returning the overhead
+// cycles consumed.
+func (t *THP) RunPromotionPass() float64 {
+	if !t.Cfg.PromoteEnabled || !t.Cfg.AllocEnabled {
+		return 0
+	}
+	regions := t.Space.Regions()
+	if len(regions) == 0 {
+		return 0
+	}
+	var cycles float64
+	promoted := 0
+	visited := 0
+	totalChunks := 0
+	for _, r := range regions {
+		totalChunks += r.NumChunks()
+	}
+	for promoted < t.Cfg.PromoteMaxPerPass && visited < totalChunks {
+		if t.cursorRegion >= len(regions) {
+			t.cursorRegion = 0
+		}
+		r := regions[t.cursorRegion]
+		if t.cursorChunk >= r.NumChunks() {
+			t.cursorRegion++
+			t.cursorChunk = 0
+			continue
+		}
+		ci := t.cursorChunk
+		t.cursorChunk++
+		visited++
+		if !r.THPEligible {
+			continue
+		}
+		info := r.ChunkInfo(ci)
+		if info.State != vm.Mapped4K || info.MappedSubs < t.Cfg.PromoteMinSubs {
+			continue
+		}
+		node, ok := r.DominantSubNode(ci)
+		if !ok {
+			continue
+		}
+		cyc, ok := r.PromoteChunk(ci, node, t.Cfg.PromoteMinSubs, t.Costs)
+		if ok {
+			cycles += cyc
+			promoted++
+			t.promoted++
+		}
+	}
+	return cycles
+}

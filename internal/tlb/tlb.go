@@ -1,0 +1,285 @@
+// Package tlb models the two-level translation lookaside buffer and the
+// page-table walks taken on TLB misses. The model is analytic: given how a
+// thread's accesses distribute over segments of distinct pages (which
+// depends on the page size backing each region — the whole point of the
+// paper), it computes the probability of L1-TLB hits, L2-TLB hits and full
+// misses, the expected cycle cost of a walk, and the expected number of L2
+// cache misses each walk causes. The latter feeds the
+// "% of L2 misses due to page-table walks" counter that Carrefour-LP's
+// conservative component monitors (Algorithm 1, line 4).
+package tlb
+
+import (
+	"sort"
+
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// Config sizes the TLB hierarchy and walk costs. The defaults approximate
+// the AMD Opteron family used in the paper.
+type Config struct {
+	// L1Entries is the fully-associative first-level TLB shared by all
+	// page sizes.
+	L1Entries int
+	// L2Entries4K, L2Entries2M and L2Entries1G are the second-level TLB
+	// capacities per page-size class.
+	L2Entries4K int
+	L2Entries2M int
+	L2Entries1G int
+
+	// L2HitCycles is the penalty for an access served by the L2 TLB.
+	L2HitCycles float64
+	// UpperLevelCycles is the per-level cost of walking the (almost
+	// always cached) upper page-table levels.
+	UpperLevelCycles float64
+	// LeafHitCycles is the cost of a leaf PTE fetch served by the paging
+	// caches / L2 cache.
+	LeafHitCycles float64
+	// LeafMissCycles is the cost of a leaf PTE fetch from DRAM.
+	LeafMissCycles float64
+	// PTCacheBytes is the effective cache capacity available to leaf page
+	// table entries (paging-structure caches plus the L2 share they win).
+	PTCacheBytes uint64
+	// UpperMissProb is the small probability that an upper-level entry
+	// misses the paging caches.
+	UpperMissProb float64
+}
+
+// DefaultConfig returns the Opteron-era calibration.
+func DefaultConfig() Config {
+	return Config{
+		L1Entries:        48,
+		L2Entries4K:      1024,
+		L2Entries2M:      128,
+		L2Entries1G:      16,
+		L2HitCycles:      7,
+		UpperLevelCycles: 6,
+		LeafHitCycles:    15,
+		LeafMissCycles:   150,
+		PTCacheBytes:     256 << 10,
+		UpperMissProb:    0.02,
+	}
+}
+
+// WalkLevels returns the number of page-table levels walked on a miss for
+// the given page size: 4 KB pages use the full 4-level x86-64 walk, 2 MB
+// pages skip the PTE level, and 1 GB pages skip two levels.
+func WalkLevels(s mem.PageSize) int {
+	switch s {
+	case mem.Size4K:
+		return 4
+	case mem.Size2M:
+		return 3
+	case mem.Size1G:
+		return 2
+	default:
+		panic("tlb: invalid page size")
+	}
+}
+
+// Segment describes one slice of a thread's access distribution: Weight of
+// the thread's accesses spread uniformly over Pages distinct pages of size
+// Size. Weights across a thread's segments should sum to ≤ 1.
+//
+// Sequential segments are streamed: they take one TLB miss per page
+// (LineBytes/PageSize of accesses) instead of competing for TLB capacity,
+// and their walks enjoy perfectly prefetchable leaf PTEs.
+type Segment struct {
+	Weight     float64
+	Pages      float64
+	Size       mem.PageSize
+	Sequential bool
+}
+
+// Assessment is the per-access expected TLB behaviour for one thread in
+// one epoch.
+type Assessment struct {
+	// L1Hit, L2Hit and Miss are per-access probabilities (sum to 1).
+	L1Hit float64
+	L2Hit float64
+	Miss  float64
+	// WalkCycles is the expected cycle cost of one page-table walk.
+	WalkCycles float64
+	// WalkL2Misses is the expected number of L2 cache misses caused by
+	// one walk.
+	WalkL2Misses float64
+	// PTFootprintBytes is the leaf page-table footprint backing the
+	// thread's segments; exported for diagnostics.
+	PTFootprintBytes uint64
+}
+
+// CostPerAccess returns the expected translation cycles added to an
+// average access.
+func (a Assessment) CostPerAccess(cfg Config) float64 {
+	return a.L2Hit*cfg.L2HitCycles + a.Miss*a.WalkCycles
+}
+
+// Model evaluates assessments under a fixed configuration.
+type Model struct {
+	Cfg Config
+}
+
+// NewModel returns a model with the given configuration.
+func NewModel(cfg Config) *Model { return &Model{Cfg: cfg} }
+
+// Assess computes the expected TLB behaviour of a thread whose accesses
+// are distributed over segs. The model fills the L1 TLB with the hottest
+// pages overall (it is shared across page sizes), then fills each L2 TLB
+// class with the hottest remaining pages of that size, assuming uniform
+// access within a segment.
+func (m *Model) Assess(segs []Segment) Assessment {
+	// Separate streamed segments (one miss per page, no capacity
+	// competition) from capacity-bound ones.
+	work := make([]Segment, 0, len(segs))
+	var totalWeight, seqL1, seqMiss, seqWalkCycles, seqWalkL2 float64
+	var ptFootSeq uint64
+	for _, s := range segs {
+		if s.Weight <= 0 || s.Pages <= 0 {
+			continue
+		}
+		totalWeight += s.Weight
+		if s.Sequential {
+			missFrac := 64.0 / float64(s.Size) // one miss per page, line-granular accesses
+			seqMiss += s.Weight * missFrac
+			seqL1 += s.Weight * (1 - missFrac)
+			levels := float64(WalkLevels(s.Size))
+			// Streamed leaf PTEs are adjacent: walks hit the caches.
+			cyc := (levels-1)*m.Cfg.UpperLevelCycles + m.Cfg.LeafHitCycles
+			seqWalkCycles += s.Weight * missFrac * cyc
+			seqWalkL2 += s.Weight * missFrac * (levels - 1) * m.Cfg.UpperMissProb
+			ptFootSeq += uint64(s.Pages * 8)
+			continue
+		}
+		work = append(work, s)
+	}
+	if totalWeight <= 0 {
+		return Assessment{L1Hit: 1}
+	}
+	if len(work) == 0 {
+		miss := seqMiss / totalWeight
+		a := Assessment{L1Hit: 1 - miss, Miss: miss, PTFootprintBytes: ptFootSeq}
+		if seqMiss > 0 {
+			a.WalkCycles = seqWalkCycles / seqMiss
+			a.WalkL2Misses = seqWalkL2 / seqMiss
+		}
+		return a
+	}
+	sort.Slice(work, func(i, j int) bool {
+		return work[i].Weight/work[i].Pages > work[j].Weight/work[j].Pages
+	})
+
+	// Fill L1 with the hottest pages regardless of size.
+	l1 := float64(m.Cfg.L1Entries)
+	var l1Hit float64
+	remaining := make([]Segment, len(work))
+	copy(remaining, work)
+	for i := range remaining {
+		if l1 <= 0 {
+			break
+		}
+		take := remaining[i].Pages
+		if take > l1 {
+			take = l1
+		}
+		frac := take / remaining[i].Pages
+		l1Hit += remaining[i].Weight * frac
+		remaining[i].Weight *= 1 - frac
+		remaining[i].Pages -= take
+		l1 -= take
+	}
+
+	// Fill each L2 class with the hottest remaining pages of its size.
+	budget := map[mem.PageSize]float64{
+		mem.Size4K: float64(m.Cfg.L2Entries4K),
+		mem.Size2M: float64(m.Cfg.L2Entries2M),
+		mem.Size1G: float64(m.Cfg.L2Entries1G),
+	}
+	var l2Hit float64
+	for i := range remaining {
+		s := &remaining[i]
+		if s.Weight <= 0 || s.Pages <= 0 {
+			continue
+		}
+		b := budget[s.Size]
+		if b <= 0 {
+			continue
+		}
+		take := s.Pages
+		if take > b {
+			take = b
+		}
+		frac := take / s.Pages
+		l2Hit += s.Weight * frac
+		s.Weight *= 1 - frac
+		s.Pages -= take
+		budget[s.Size] = b - take
+	}
+
+	// Leaf-PTE cache coverage: the paging caches and the L2's share of
+	// page-table lines hold PTEs for the hottest pages — far more
+	// translations than the TLB itself holds (PTCacheBytes/8 entries).
+	// Fill greedily in the same hottest-first order as the TLB, so walks
+	// for warm pages (in the PT cache but past TLB reach) stay cheap
+	// while walks for genuinely cold pages go to DRAM.
+	pteBudget := float64(m.Cfg.PTCacheBytes) / 8
+	cover := make([]float64, len(work))
+	for i, s := range work {
+		if pteBudget <= 0 {
+			break
+		}
+		take := s.Pages
+		if take > pteBudget {
+			take = pteBudget
+		}
+		cover[i] = take / s.Pages
+		pteBudget -= take
+	}
+	var ptFoot uint64
+	for _, s := range work {
+		ptFoot += uint64(s.Pages * 8)
+	}
+	ptFoot += ptFootSeq
+
+	// Expected walk characteristics over the *missing* accesses: weight
+	// each segment by its residual (uncovered) weight; remaining[i]
+	// corresponds to work[i].
+	var missWeight, walkCycles, walkL2Misses float64
+	for i, s := range remaining {
+		if s.Weight <= 0 {
+			continue
+		}
+		levels := float64(WalkLevels(s.Size))
+		pwcHit := cover[i]
+		upper := (levels - 1) * (m.Cfg.UpperLevelCycles + m.Cfg.UpperMissProb*m.Cfg.LeafMissCycles)
+		leaf := pwcHit*m.Cfg.LeafHitCycles + (1-pwcHit)*m.Cfg.LeafMissCycles
+		walkCycles += s.Weight * (upper + leaf)
+		walkL2Misses += s.Weight * ((1 - pwcHit) + (levels-1)*m.Cfg.UpperMissProb)
+		missWeight += s.Weight
+	}
+
+	// Fold in the streamed segments and normalize to per-access
+	// probabilities.
+	l1Hit += seqL1
+	l1Hit /= totalWeight
+	l2Hit /= totalWeight
+	walkCycles += seqWalkCycles
+	walkL2Misses += seqWalkL2
+	missWeight += seqMiss
+	miss := stats.Clamp(missWeight/totalWeight, 0, 1)
+	if l1Hit+l2Hit+miss > 1 {
+		l1Hit = stats.Clamp(1-l2Hit-miss, 0, 1)
+	}
+	if missWeight > 0 {
+		walkCycles /= missWeight
+		walkL2Misses /= missWeight
+	}
+	return Assessment{
+		L1Hit:            l1Hit,
+		L2Hit:            l2Hit,
+		Miss:             miss,
+		WalkCycles:       walkCycles,
+		WalkL2Misses:     walkL2Misses,
+		PTFootprintBytes: ptFoot,
+	}
+}

@@ -1,0 +1,23 @@
+package topo_test
+
+import (
+	"fmt"
+
+	"repro/internal/topo"
+)
+
+// ExampleMachineA shows the paper's machine A configuration.
+func ExampleMachineA() {
+	m := topo.MachineA()
+	fmt.Printf("machine %s: %d nodes × %d cores, %d GiB DRAM, diameter %d hop(s)\n",
+		m.Name, m.Nodes, m.CoresPerNode, m.TotalDRAM()>>30, m.MaxHops())
+	// Output: machine A: 4 nodes × 6 cores, 64 GiB DRAM, diameter 1 hop(s)
+}
+
+// ExampleMachineB shows the paper's machine B configuration.
+func ExampleMachineB() {
+	m := topo.MachineB()
+	fmt.Printf("machine %s: %d nodes × %d cores, %d GiB DRAM, diameter %d hop(s)\n",
+		m.Name, m.Nodes, m.CoresPerNode, m.TotalDRAM()>>30, m.MaxHops())
+	// Output: machine B: 8 nodes × 8 cores, 512 GiB DRAM, diameter 2 hop(s)
+}

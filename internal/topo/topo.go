@@ -1,0 +1,164 @@
+// Package topo describes the NUMA machine topology the simulator runs on:
+// nodes, cores, per-node DRAM, and the interconnect hop matrix. It provides
+// the two machine configurations used throughout the paper's evaluation
+// (§2.1): machine A (2×12-core Opteron 6164 HE, 4 NUMA nodes, 64 GB) and
+// machine B (4×16-core Opteron 6272, 8 NUMA nodes, 512 GB), both with
+// HyperTransport 3.0 links.
+package topo
+
+import "fmt"
+
+// NodeID identifies a NUMA node.
+type NodeID int
+
+// CoreID identifies a hardware core, numbered densely across nodes:
+// node n owns cores [n*CoresPerNode, (n+1)*CoresPerNode).
+type CoreID int
+
+// Machine is an immutable description of the hardware.
+type Machine struct {
+	// Name labels the configuration in reports ("A" or "B" for the
+	// paper's machines).
+	Name string
+	// Nodes is the number of NUMA nodes.
+	Nodes int
+	// CoresPerNode is the number of cores on each node.
+	CoresPerNode int
+	// DRAMPerNode is the bytes of local DRAM attached to each node's
+	// memory controller.
+	DRAMPerNode uint64
+	// FreqHz is the core clock; simulated time = cycles / FreqHz.
+	FreqHz float64
+
+	hops [][]int
+}
+
+// New builds a machine with an explicit hop matrix. hops must be a square
+// Nodes×Nodes matrix with zero diagonal and symmetric positive entries
+// elsewhere; New panics otherwise, since a malformed topology is a
+// programming error, not a runtime condition.
+func New(name string, nodes, coresPerNode int, dramPerNode uint64, freqHz float64, hops [][]int) *Machine {
+	if nodes <= 0 || coresPerNode <= 0 {
+		panic("topo: machine must have at least one node and core")
+	}
+	if len(hops) != nodes {
+		panic(fmt.Sprintf("topo: hop matrix has %d rows, want %d", len(hops), nodes))
+	}
+	for i := range hops {
+		if len(hops[i]) != nodes {
+			panic(fmt.Sprintf("topo: hop row %d has %d cols, want %d", i, len(hops[i]), nodes))
+		}
+		if hops[i][i] != 0 {
+			panic(fmt.Sprintf("topo: hops[%d][%d] must be 0", i, i))
+		}
+		for j := range hops[i] {
+			if i != j && hops[i][j] <= 0 {
+				panic(fmt.Sprintf("topo: hops[%d][%d] must be positive", i, j))
+			}
+			if hops[i][j] != hops[j][i] {
+				panic("topo: hop matrix must be symmetric")
+			}
+		}
+	}
+	m := &Machine{
+		Name:         name,
+		Nodes:        nodes,
+		CoresPerNode: coresPerNode,
+		DRAMPerNode:  dramPerNode,
+		FreqHz:       freqHz,
+		hops:         hops,
+	}
+	return m
+}
+
+// TotalCores is the number of cores in the machine.
+func (m *Machine) TotalCores() int { return m.Nodes * m.CoresPerNode }
+
+// TotalDRAM is the total bytes of DRAM across all nodes.
+func (m *Machine) TotalDRAM() uint64 { return uint64(m.Nodes) * m.DRAMPerNode }
+
+// NodeOf returns the node that owns core c.
+func (m *Machine) NodeOf(c CoreID) NodeID {
+	if int(c) < 0 || int(c) >= m.TotalCores() {
+		panic(fmt.Sprintf("topo: core %d out of range [0,%d)", c, m.TotalCores()))
+	}
+	return NodeID(int(c) / m.CoresPerNode)
+}
+
+// CoresOf returns the cores owned by node n in ascending order.
+func (m *Machine) CoresOf(n NodeID) []CoreID {
+	cores := make([]CoreID, m.CoresPerNode)
+	for i := range cores {
+		cores[i] = CoreID(int(n)*m.CoresPerNode + i)
+	}
+	return cores
+}
+
+// Hops returns the interconnect hop count between two nodes (0 when equal).
+func (m *Machine) Hops(a, b NodeID) int { return m.hops[a][b] }
+
+// MaxHops returns the network diameter.
+func (m *Machine) MaxHops() int {
+	max := 0
+	for i := range m.hops {
+		for _, h := range m.hops[i] {
+			if h > max {
+				max = h
+			}
+		}
+	}
+	return max
+}
+
+const (
+	gib = 1 << 30
+)
+
+// MachineA models the paper's machine A: two 1.7 GHz AMD Opteron 6164 HE
+// packages, 24 cores total, 4 NUMA nodes, 64 GB of RAM (16 GB per node;
+// the paper's prose says "12GB per node", which is inconsistent with its
+// own 64 GB total — we keep the 64 GB total). The four nodes are fully
+// connected by HyperTransport links.
+func MachineA() *Machine {
+	hops := [][]int{
+		{0, 1, 1, 1},
+		{1, 0, 1, 1},
+		{1, 1, 0, 1},
+		{1, 1, 1, 0},
+	}
+	return New("A", 4, 6, 16*gib, 1.7e9, hops)
+}
+
+// MachineB models the paper's machine B: four AMD Opteron 6272 packages,
+// 64 cores total, 8 NUMA nodes, 512 GB of RAM (64 GB per node). Each
+// package holds two nodes; the HyperTransport fabric connects packages so
+// that some node pairs are two hops apart, which is the topology of the
+// 4-socket G34 platforms used in the paper.
+func MachineB() *Machine {
+	// Nodes 2i and 2i+1 share a package (1 hop). Packages form a square:
+	// 0-1, 1-2, 2-3, 3-0 adjacent (1 hop between facing nodes), diagonal
+	// packages are 2 hops apart.
+	const n = 8
+	pkg := func(x int) int { return x / 2 }
+	adjacent := func(p, q int) bool {
+		d := (p - q + 4) % 4
+		return d == 1 || d == 3
+	}
+	hops := make([][]int, n)
+	for i := range hops {
+		hops[i] = make([]int, n)
+		for j := range hops[i] {
+			switch {
+			case i == j:
+				hops[i][j] = 0
+			case pkg(i) == pkg(j):
+				hops[i][j] = 1
+			case adjacent(pkg(i), pkg(j)):
+				hops[i][j] = 1
+			default:
+				hops[i][j] = 2
+			}
+		}
+	}
+	return New("B", n, 8, 64*gib, 2.1e9, hops)
+}

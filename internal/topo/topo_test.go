@@ -1,0 +1,123 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMachineAShape(t *testing.T) {
+	m := MachineA()
+	if m.Nodes != 4 || m.CoresPerNode != 6 {
+		t.Fatalf("machine A: %d nodes × %d cores", m.Nodes, m.CoresPerNode)
+	}
+	if m.TotalCores() != 24 {
+		t.Fatalf("machine A cores = %d, want 24", m.TotalCores())
+	}
+	if m.TotalDRAM() != 64<<30 {
+		t.Fatalf("machine A DRAM = %d, want 64 GiB", m.TotalDRAM())
+	}
+	if m.MaxHops() != 1 {
+		t.Fatalf("machine A diameter = %d, want 1 (fully connected)", m.MaxHops())
+	}
+}
+
+func TestMachineBShape(t *testing.T) {
+	m := MachineB()
+	if m.Nodes != 8 || m.CoresPerNode != 8 {
+		t.Fatalf("machine B: %d nodes × %d cores", m.Nodes, m.CoresPerNode)
+	}
+	if m.TotalCores() != 64 {
+		t.Fatalf("machine B cores = %d, want 64", m.TotalCores())
+	}
+	if m.TotalDRAM() != 512<<30 {
+		t.Fatalf("machine B DRAM = %d, want 512 GiB", m.TotalDRAM())
+	}
+	if m.MaxHops() != 2 {
+		t.Fatalf("machine B diameter = %d, want 2", m.MaxHops())
+	}
+	// Same-package nodes are 1 hop apart.
+	if m.Hops(0, 1) != 1 || m.Hops(6, 7) != 1 {
+		t.Fatal("same-package nodes should be 1 hop apart")
+	}
+}
+
+func TestNodeOfCore(t *testing.T) {
+	m := MachineA()
+	cases := []struct {
+		core CoreID
+		node NodeID
+	}{{0, 0}, {5, 0}, {6, 1}, {23, 3}}
+	for _, c := range cases {
+		if got := m.NodeOf(c.core); got != c.node {
+			t.Fatalf("NodeOf(%d) = %d, want %d", c.core, got, c.node)
+		}
+	}
+}
+
+func TestNodeOfOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range core")
+		}
+	}()
+	MachineA().NodeOf(24)
+}
+
+func TestCoresOfPartition(t *testing.T) {
+	for _, m := range []*Machine{MachineA(), MachineB()} {
+		seen := map[CoreID]bool{}
+		for n := 0; n < m.Nodes; n++ {
+			for _, c := range m.CoresOf(NodeID(n)) {
+				if seen[c] {
+					t.Fatalf("core %d appears on two nodes", c)
+				}
+				seen[c] = true
+				if m.NodeOf(c) != NodeID(n) {
+					t.Fatalf("core %d: CoresOf says node %d, NodeOf says %d", c, n, m.NodeOf(c))
+				}
+			}
+		}
+		if len(seen) != m.TotalCores() {
+			t.Fatalf("machine %s: CoresOf covered %d cores, want %d", m.Name, len(seen), m.TotalCores())
+		}
+	}
+}
+
+func TestHopSymmetryProperty(t *testing.T) {
+	for _, m := range []*Machine{MachineA(), MachineB()} {
+		if err := quick.Check(func(a, b uint8) bool {
+			i := NodeID(int(a) % m.Nodes)
+			j := NodeID(int(b) % m.Nodes)
+			if i == j {
+				return m.Hops(i, j) == 0
+			}
+			return m.Hops(i, j) == m.Hops(j, i) && m.Hops(i, j) > 0
+		}, nil); err != nil {
+			t.Fatalf("machine %s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestNewValidations(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("asymmetric", func() {
+		New("x", 2, 1, 1<<30, 1e9, [][]int{{0, 1}, {2, 0}})
+	})
+	mustPanic("nonzero diagonal", func() {
+		New("x", 2, 1, 1<<30, 1e9, [][]int{{1, 1}, {1, 0}})
+	})
+	mustPanic("wrong size", func() {
+		New("x", 3, 1, 1<<30, 1e9, [][]int{{0, 1}, {1, 0}})
+	})
+	mustPanic("no cores", func() {
+		New("x", 1, 0, 1<<30, 1e9, [][]int{{0}})
+	})
+}

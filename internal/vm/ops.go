@@ -1,0 +1,413 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// OpCosts prices the OS page operations in cycles. Migrations copy data
+// and invalidate TLBs; splits only rewrite translations; promotions gather
+// scattered 4 KB pages into one 2 MB frame.
+type OpCosts struct {
+	Migrate4K  float64
+	Migrate2M  float64
+	Split2M    float64
+	Split1G    float64
+	PromoteMin float64 // remap cost; per-sub copy costs add Migrate4K each
+}
+
+// DefaultOpCosts returns the evaluation calibration. Migrating a 2 MB page
+// is ~100× the cost of a 4 KB page, which is why "Carrefour-2M spends too
+// much time migrating large pages" on some workloads (§4.2).
+func DefaultOpCosts() OpCosts {
+	return OpCosts{
+		Migrate4K:  12000,
+		Migrate2M:  1.4e6,
+		Split2M:    30000,
+		Split1G:    250000,
+		PromoteMin: 60000,
+	}
+}
+
+// ChunkState is the exported view of a chunk's backing.
+type ChunkState uint8
+
+// Exported chunk states.
+const (
+	Unmapped ChunkState = iota
+	Mapped2M
+	Mapped4K
+	Mapped1G
+)
+
+// String names the state.
+func (s ChunkState) String() string {
+	switch s {
+	case Unmapped:
+		return "unmapped"
+	case Mapped2M:
+		return "2M"
+	case Mapped4K:
+		return "4K"
+	case Mapped1G:
+		return "1G"
+	default:
+		return fmt.Sprintf("ChunkState(%d)", uint8(s))
+	}
+}
+
+// ChunkInfo summarizes one chunk for policies and metrics.
+type ChunkInfo struct {
+	State      ChunkState
+	Node       topo.NodeID // home node (head node for 1G slices)
+	MappedSubs int         // mapped 4 KB pages when State == Mapped4K
+	GiantHead  int         // head chunk index when State == Mapped1G
+}
+
+// ChunkInfo returns the state of chunk ci.
+func (r *Region) ChunkInfo(ci int) ChunkInfo {
+	c := &r.chunks[ci]
+	switch c.state {
+	case state2M:
+		return ChunkInfo{State: Mapped2M, Node: c.node}
+	case state4K:
+		return ChunkInfo{State: Mapped4K, Node: c.node, MappedSubs: c.mappedSubs()}
+	case state1G:
+		return ChunkInfo{State: Mapped1G, Node: r.chunks[c.giantHead].node, GiantHead: c.giantHead}
+	default:
+		return ChunkInfo{State: Unmapped}
+	}
+}
+
+// SubNode returns the home node of 4 KB page sub in a split chunk and
+// whether it is mapped.
+func (r *Region) SubNode(ci, sub int) (topo.NodeID, bool) {
+	c := &r.chunks[ci]
+	if c.state != state4K || c.subNode == nil || c.subNode[sub] == unmappedNode {
+		return 0, false
+	}
+	return topo.NodeID(c.subNode[sub]), true
+}
+
+// MigrateChunk moves a 2 MB-mapped chunk to node. It returns the cycles
+// consumed and whether the migration happened (it is skipped when the
+// chunk is not 2 MB-mapped, already home, or the target is out of memory).
+func (r *Region) MigrateChunk(ci int, to topo.NodeID, costs OpCosts) (float64, bool) {
+	c := &r.chunks[ci]
+	if c.state != state2M || c.node == to {
+		return 0, false
+	}
+	if err := r.Space.Phys.Allocate(to, mem.Size2M); err != nil {
+		return 0, false
+	}
+	r.Space.Phys.Free(c.node, mem.Size2M)
+	c.node = to
+	return costs.Migrate2M, true
+}
+
+// MigrateSub moves one 4 KB page of a split chunk to node.
+func (r *Region) MigrateSub(ci, sub int, to topo.NodeID, costs OpCosts) (float64, bool) {
+	c := &r.chunks[ci]
+	if c.state != state4K || c.subNode == nil || c.subNode[sub] == unmappedNode {
+		return 0, false
+	}
+	from := topo.NodeID(c.subNode[sub])
+	if from == to {
+		return 0, false
+	}
+	if err := r.Space.Phys.Allocate(to, mem.Size4K); err != nil {
+		return 0, false
+	}
+	r.Space.Phys.Free(from, mem.Size4K)
+	c.subNode[sub] = uint8(to)
+	return costs.Migrate4K, true
+}
+
+// SplitChunk demotes a 2 MB-mapped chunk into 512 4 KB pages on the same
+// node (the paper's "split"; no data moves). Accounting restarts at 4 KB
+// granularity.
+func (r *Region) SplitChunk(ci int, costs OpCosts) (float64, bool) {
+	c := &r.chunks[ci]
+	if c.state != state2M {
+		return 0, false
+	}
+	node := c.node
+	r.Space.Phys.Free(node, mem.Size2M)
+	c.ensureSubs()
+	for i := range c.subNode {
+		c.subNode[i] = uint8(node)
+		c.subAcc[i] = 0
+		c.subMask[i] = 0
+		if err := r.Space.Phys.Allocate(node, mem.Size4K); err != nil {
+			panic("vm: split re-allocation failed on the page's own node")
+		}
+	}
+	c.state = state4K
+	c.threadMask = 0
+	r.count2M--
+	r.count4K += SubsPerChunk
+	return costs.Split2M, true
+}
+
+// InterleaveSubs spreads the 4 KB pages of a split chunk round-robin
+// across all nodes starting from a seeded random node, as Carrefour-LP
+// does with hot pages after splitting them (Algorithm 1, line 19).
+func (r *Region) InterleaveSubs(ci int, rng *stats.Rng, costs OpCosts) float64 {
+	c := &r.chunks[ci]
+	if c.state != state4K {
+		return 0
+	}
+	nodes := r.Space.Machine.Nodes
+	start := rng.Intn(nodes)
+	var cycles float64
+	for i := range c.subNode {
+		if c.subNode[i] == unmappedNode {
+			continue
+		}
+		to := topo.NodeID((start + i) % nodes)
+		cyc, _ := r.MigrateSub(ci, i, to, costs)
+		cycles += cyc
+	}
+	return cycles
+}
+
+// PromoteChunk gathers the 4 KB pages of a split chunk into a single 2 MB
+// page on node, paying a per-page copy for every sub not already there.
+// The chunk must have at least minSubs pages mapped (khugepaged fills the
+// rest with zero pages, which we charge as copies too).
+func (r *Region) PromoteChunk(ci int, to topo.NodeID, minSubs int, costs OpCosts) (float64, bool) {
+	c := &r.chunks[ci]
+	if c.state != state4K {
+		return 0, false
+	}
+	mapped := c.mappedSubs()
+	if mapped < minSubs {
+		return 0, false
+	}
+	if err := r.Space.Phys.Allocate(to, mem.Size2M); err != nil {
+		return 0, false
+	}
+	cycles := costs.PromoteMin
+	for i := range c.subNode {
+		if c.subNode[i] == unmappedNode {
+			continue
+		}
+		if topo.NodeID(c.subNode[i]) != to {
+			cycles += costs.Migrate4K
+		}
+		r.Space.Phys.Free(topo.NodeID(c.subNode[i]), mem.Size4K)
+	}
+	c.state = state2M
+	c.node = to
+	c.subNode = nil
+	c.subAcc = nil
+	c.subMask = nil
+	c.threadMask = 0
+	c.accesses = 0
+	r.count4K -= mapped
+	r.count2M++
+	return cycles, true
+}
+
+// DominantSubNode returns the node hosting the most mapped 4 KB pages of a
+// split chunk (weighted by access counts when available); the natural
+// promotion target.
+func (r *Region) DominantSubNode(ci int) (topo.NodeID, bool) {
+	c := &r.chunks[ci]
+	if c.state != state4K || c.subNode == nil {
+		return 0, false
+	}
+	weights := make([]float64, r.Space.Machine.Nodes)
+	any := false
+	for i, n := range c.subNode {
+		if n == unmappedNode {
+			continue
+		}
+		any = true
+		w := float64(c.subAcc[i]) + 1
+		weights[n] += w
+	}
+	if !any {
+		return 0, false
+	}
+	best := 0
+	for n := range weights {
+		if weights[n] > weights[best] {
+			best = n
+		}
+	}
+	return topo.NodeID(best), true
+}
+
+// MapGiant backs the chunks starting at head with one 1 GB page on node
+// (hugetlbfs semantics: established up front, §4.4). A full 1 GB page is
+// reserved even when the region's tail is smaller — hugetlbfs packs small
+// structures into whole reserved gigantic pages, which is exactly why the
+// paper sees "lots of hot small pages coalesced on a single NUMA node".
+// All covered chunks must be unmapped.
+func (r *Region) MapGiant(head int, node topo.NodeID) error {
+	if head%ChunksPerGiant != 0 {
+		return fmt.Errorf("vm: 1G mapping must be 1 GB aligned (chunk %d)", head)
+	}
+	if head >= len(r.chunks) {
+		return fmt.Errorf("vm: chunk %d beyond region %s", head, r.Name)
+	}
+	span := r.giantSpan(head)
+	for i := head; i < head+span; i++ {
+		if r.chunks[i].state != stateUnmapped {
+			return fmt.Errorf("vm: chunk %d already mapped", i)
+		}
+	}
+	if err := r.Space.Phys.Allocate(node, mem.Size1G); err != nil {
+		return err
+	}
+	for i := head; i < head+span; i++ {
+		c := &r.chunks[i]
+		c.state = state1G
+		c.giantHead = head
+	}
+	r.chunks[head].node = node
+	r.Space.faultCount1G++
+	r.count1G++
+	return nil
+}
+
+// giantSpan is the number of chunks a 1 GB page at head covers (the tail
+// of a small region covers fewer than ChunksPerGiant).
+func (r *Region) giantSpan(head int) int {
+	span := ChunksPerGiant
+	if head+span > len(r.chunks) {
+		span = len(r.chunks) - head
+	}
+	return span
+}
+
+// SplitGiant demotes a 1 GB page into 2 MB pages on the same node.
+func (r *Region) SplitGiant(head int, costs OpCosts) (float64, bool) {
+	c := &r.chunks[head]
+	if c.state != state1G || c.giantHead != head {
+		return 0, false
+	}
+	node := c.node
+	span := r.giantSpan(head)
+	r.Space.Phys.Free(node, mem.Size1G)
+	for i := head; i < head+span; i++ {
+		cc := &r.chunks[i]
+		cc.state = state2M
+		cc.node = node
+		cc.accesses = 0
+		cc.threadMask = 0
+		if err := r.Space.Phys.Allocate(node, mem.Size2M); err != nil {
+			panic("vm: giant split re-allocation failed on the page's own node")
+		}
+	}
+	r.count1G--
+	r.count2M += span
+	return costs.Split1G, true
+}
+
+// PageAccess is the ground-truth accounting for one mapped page.
+type PageAccess struct {
+	Page     PageID
+	Size     mem.PageSize
+	Node     topo.NodeID
+	Accesses uint64
+	Threads  int
+}
+
+// ForEachPage visits every mapped page of the region at its current
+// mapping granularity with its cumulative access statistics.
+func (r *Region) ForEachPage(f func(PageAccess)) {
+	for ci := range r.chunks {
+		c := &r.chunks[ci]
+		switch c.state {
+		case state2M:
+			f(PageAccess{
+				Page: PageID{r, ci, -1}, Size: mem.Size2M, Node: c.node,
+				Accesses: c.accesses, Threads: popcount64(c.threadMask),
+			})
+		case state1G:
+			if c.giantHead != ci {
+				continue
+			}
+			f(PageAccess{
+				Page: PageID{r, ci, -1}, Size: mem.Size1G, Node: c.node,
+				Accesses: c.accesses, Threads: popcount64(c.threadMask),
+			})
+		case state4K:
+			for sub := range c.subNode {
+				if c.subNode[sub] == unmappedNode {
+					continue
+				}
+				f(PageAccess{
+					Page: PageID{r, ci, sub}, Size: mem.Size4K, Node: topo.NodeID(c.subNode[sub]),
+					Accesses: uint64(c.subAcc[sub]), Threads: popcount64(c.subMask[sub]),
+				})
+			}
+		}
+	}
+}
+
+// ResetAccessCounters clears ground-truth access accounting (used to
+// exclude warmup from measurement intervals).
+func (s *AddrSpace) ResetAccessCounters() {
+	for _, r := range s.regions {
+		for ci := range r.chunks {
+			c := &r.chunks[ci]
+			c.accesses = 0
+			c.threadMask = 0
+			for i := range c.subAcc {
+				c.subAcc[i] = 0
+				c.subMask[i] = 0
+			}
+		}
+	}
+}
+
+// MappedBytes returns the total mapped bytes of the region.
+func (r *Region) MappedBytes() uint64 {
+	var b uint64
+	for ci := range r.chunks {
+		c := &r.chunks[ci]
+		switch c.state {
+		case state2M:
+			b += uint64(mem.Size2M)
+		case state1G:
+			if c.giantHead == ci {
+				b += uint64(mem.Size1G)
+			}
+		case state4K:
+			b += uint64(c.mappedSubs()) * uint64(mem.Size4K)
+		}
+	}
+	return b
+}
+
+// MappedPages returns the number of translations (pages) currently
+// backing the region per page size. The counts are maintained
+// incrementally (this is on the simulator's per-epoch hot path).
+func (r *Region) MappedPages() (n4k, n2m, n1g int) {
+	return r.count4K, r.count2M, r.count1G
+}
+
+// recountPages recomputes the census by scanning; tests use it to verify
+// the incremental counters.
+func (r *Region) recountPages() (n4k, n2m, n1g int) {
+	for ci := range r.chunks {
+		c := &r.chunks[ci]
+		switch c.state {
+		case state2M:
+			n2m++
+		case state1G:
+			if c.giantHead == ci {
+				n1g++
+			}
+		case state4K:
+			n4k += c.mappedSubs()
+		}
+	}
+	return
+}

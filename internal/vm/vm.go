@@ -1,0 +1,428 @@
+// Package vm implements the virtual-memory subsystem the paper's policies
+// manipulate: address spaces composed of regions, backed by 4 KB, 2 MB or
+// 1 GB pages, with first-touch NUMA allocation, page faults (including the
+// page-table-lock contention that makes allocation phases expensive under
+// small pages, §3.2), page migration, interleaving, splitting (demotion)
+// and promotion.
+//
+// Mappings are tracked in 2 MB-aligned "chunks": a chunk is either backed
+// by a single 2 MB page, by up to 512 individually-placed 4 KB pages, or is
+// one slice of a 1 GB page. Access counts, the set of touching threads and
+// home nodes are recorded at the mapping granularity, which is exactly the
+// granularity at which the paper's metrics (PAMUP, NHP, PSP) are defined.
+package vm
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/mem"
+	"repro/internal/topo"
+)
+
+// SubsPerChunk is the number of 4 KB pages in a 2 MB chunk.
+const SubsPerChunk = 512
+
+// ChunksPerGiant is the number of 2 MB chunks in a 1 GB page.
+const ChunksPerGiant = 512
+
+// chunkState encodes how a chunk is currently backed.
+type chunkState uint8
+
+const (
+	stateUnmapped chunkState = iota
+	state2M                  // one 2 MB page on chunk.node
+	state4K                  // individually placed 4 KB pages in sub arrays
+	state1G                  // part of a 1 GB page; head chunk holds accounting
+)
+
+// unmappedNode marks an unmapped 4 KB slot in a split chunk.
+const unmappedNode = 0xFF
+
+// chunk is the per-2MB bookkeeping record.
+type chunk struct {
+	state chunkState
+	node  topo.NodeID // home node for state2M; head node for state1G
+
+	giantHead int // index of the 1 GB head chunk when state1G
+
+	// 4 KB bookkeeping, allocated lazily when the chunk is split or
+	// first mapped with small pages.
+	subNode []uint8 // home node per 4 KB page, unmappedNode when absent
+
+	// Ground-truth access accounting at mapping granularity.
+	accesses   uint64
+	threadMask uint64
+	subAcc     []uint32
+	subMask    []uint64
+}
+
+func (c *chunk) ensureSubs() {
+	if c.subNode == nil {
+		c.subNode = make([]uint8, SubsPerChunk)
+		for i := range c.subNode {
+			c.subNode[i] = unmappedNode
+		}
+		c.subAcc = make([]uint32, SubsPerChunk)
+		c.subMask = make([]uint64, SubsPerChunk)
+	}
+}
+
+// mappedSubs counts the mapped 4 KB pages of a split chunk.
+func (c *chunk) mappedSubs() int {
+	n := 0
+	for _, s := range c.subNode {
+		if s != unmappedNode {
+			n++
+		}
+	}
+	return n
+}
+
+// Region is a contiguous virtual segment (an "allocation" from the
+// workload's point of view: a matrix, a heap arena, a graph).
+type Region struct {
+	Space *AddrSpace
+	ID    int
+	Name  string
+	Start uint64
+	Bytes uint64
+	// THPEligible marks anonymous memory that Transparent Huge Pages may
+	// back with 2 MB pages; file-backed regions are not eligible (§2.1).
+	THPEligible bool
+
+	chunks []chunk
+
+	// Incrementally maintained translation census (MappedPages is on the
+	// simulator's per-epoch hot path).
+	count4K, count2M, count1G int
+}
+
+// NumChunks returns the number of 2 MB chunks spanning the region.
+func (r *Region) NumChunks() int { return len(r.chunks) }
+
+// PageID names one mapped page inside a region: a whole chunk (Sub == -1,
+// 2 MB or 1 GB granularity is implied by the chunk state) or a single 4 KB
+// page of a split chunk.
+type PageID struct {
+	Region *Region
+	Chunk  int
+	Sub    int // -1 when the page is the whole chunk (2M) or a 1G slice
+}
+
+// String renders a compact page name for logs.
+func (p PageID) String() string {
+	if p.Sub < 0 {
+		return fmt.Sprintf("%s[c%d]", p.Region.Name, p.Chunk)
+	}
+	return fmt.Sprintf("%s[c%d.%d]", p.Region.Name, p.Chunk, p.Sub)
+}
+
+// FaultParams calibrates the page-fault cost model. Soft faults take CPU
+// time and, under concurrent faulting, serialize on page-table locks
+// (§3.2 cites Boyd-Wickizer et al.); the contention term uses the number
+// of threads that faulted in the previous epoch (lagged, like the other
+// contention models).
+type FaultParams struct {
+	Base4K float64 // service cycles incl. zeroing 4 KB
+	Base2M float64 // service cycles incl. zeroing 2 MB
+	Base1G float64 // service cycles incl. zeroing 1 GB
+	// LockCyclesPerFaulter adds to every fault for each *other* thread
+	// concurrently in the fault path.
+	LockCyclesPerFaulter float64
+}
+
+// DefaultFaultParams returns the calibration used in the evaluation.
+func DefaultFaultParams() FaultParams {
+	return FaultParams{
+		Base4K:               1500,
+		Base2M:               90000,
+		Base1G:               20e6,
+		LockCyclesPerFaulter: 400,
+	}
+}
+
+// AllocSizeFunc decides the page size used to back a faulting address; it
+// is how the OS policy layer (THP on/off, hugetlbfs) plugs into the fault
+// path.
+type AllocSizeFunc func(r *Region, chunkIdx int) mem.PageSize
+
+// AddrSpace is one process's virtual address space.
+type AddrSpace struct {
+	Machine *topo.Machine
+	Phys    *mem.System
+	Faults  FaultParams
+
+	// AllocSize picks the backing page size at fault time. The default
+	// always answers 4 KB.
+	AllocSize AllocSizeFunc
+
+	regions []*Region
+	nextVA  uint64
+
+	// Fault accounting.
+	faultCyclesPerCore []float64
+	faultCount4K       uint64
+	faultCount2M       uint64
+	faultCount1G       uint64
+
+	// Lagged page-table-lock contention: number of threads that faulted
+	// last epoch.
+	faultersThisEpoch map[int]struct{}
+	laggedFaulters    int
+}
+
+// NewAddrSpace creates an empty address space on machine m backed by phys.
+func NewAddrSpace(m *topo.Machine, phys *mem.System, fp FaultParams) *AddrSpace {
+	return &AddrSpace{
+		Machine:            m,
+		Phys:               phys,
+		Faults:             fp,
+		AllocSize:          func(*Region, int) mem.PageSize { return mem.Size4K },
+		nextVA:             1 << 30,
+		faultCyclesPerCore: make([]float64, m.TotalCores()),
+		faultersThisEpoch:  make(map[int]struct{}),
+	}
+}
+
+// Mmap reserves a new region of the given size (rounded up to 2 MB).
+// Nothing is mapped until first touch.
+func (s *AddrSpace) Mmap(name string, bytes uint64, thpEligible bool) *Region {
+	if bytes == 0 {
+		panic("vm: zero-length region")
+	}
+	nChunks := int((bytes + uint64(mem.Size2M) - 1) / uint64(mem.Size2M))
+	// Align regions to 1 GB so 1 GB mappings are possible, with a guard gap.
+	const gib = 1 << 30
+	start := (s.nextVA + gib - 1) / gib * gib
+	s.nextVA = start + uint64(nChunks)*uint64(mem.Size2M) + gib
+	r := &Region{
+		Space:       s,
+		ID:          len(s.regions),
+		Name:        name,
+		Start:       start,
+		Bytes:       bytes,
+		THPEligible: thpEligible,
+		chunks:      make([]chunk, nChunks),
+	}
+	s.regions = append(s.regions, r)
+	return r
+}
+
+// Regions returns the regions in creation order.
+func (s *AddrSpace) Regions() []*Region { return s.regions }
+
+// Resolve maps a virtual address to its region, or nil if unmapped space.
+func (s *AddrSpace) Resolve(va uint64) *Region {
+	for _, r := range s.regions {
+		if va >= r.Start && va < r.Start+uint64(len(r.chunks))*uint64(mem.Size2M) {
+			return r
+		}
+	}
+	return nil
+}
+
+// BeginEpoch rolls the lagged fault-contention estimate forward.
+func (s *AddrSpace) BeginEpoch() {
+	s.laggedFaulters = len(s.faultersThisEpoch)
+	s.faultersThisEpoch = make(map[int]struct{})
+}
+
+// FaultCycles returns the cumulative page-fault handler cycles charged to
+// core c.
+func (s *AddrSpace) FaultCycles(c topo.CoreID) float64 { return s.faultCyclesPerCore[c] }
+
+// FaultCyclesAll returns a copy of the per-core cumulative fault cycles.
+func (s *AddrSpace) FaultCyclesAll() []float64 {
+	out := make([]float64, len(s.faultCyclesPerCore))
+	copy(out, s.faultCyclesPerCore)
+	return out
+}
+
+// FaultCounts returns the number of faults taken at each page size.
+func (s *AddrSpace) FaultCounts() (n4k, n2m, n1g uint64) {
+	return s.faultCount4K, s.faultCount2M, s.faultCount1G
+}
+
+// AccessResult describes the outcome of one memory access.
+type AccessResult struct {
+	// Node is the NUMA node serving the data.
+	Node topo.NodeID
+	// PageSize is the granularity of the backing translation.
+	PageSize mem.PageSize
+	// Page identifies the backing page for sampling.
+	Page PageID
+	// Faulted reports whether this access took a page fault.
+	Faulted bool
+	// FaultCycles is the handler time charged to the accessing core.
+	FaultCycles float64
+}
+
+// Access performs one memory access by thread (pinned to core) at byte
+// offset off within r, faulting the page in if necessary and recording
+// ground-truth accounting at the mapping granularity.
+func (r *Region) Access(core topo.CoreID, thread int, off uint64) AccessResult {
+	if off >= uint64(len(r.chunks))*uint64(mem.Size2M) {
+		panic(fmt.Sprintf("vm: offset %d beyond region %s (%d bytes)", off, r.Name, r.Bytes))
+	}
+	ci := int(off / uint64(mem.Size2M))
+	c := &r.chunks[ci]
+	s := r.Space
+	var res AccessResult
+	switch c.state {
+	case stateUnmapped:
+		res = s.fault(r, ci, core, off)
+		c = &r.chunks[ci] // fault may have rewritten chunk state
+	case state2M:
+		res = AccessResult{Node: c.node, PageSize: mem.Size2M, Page: PageID{r, ci, -1}}
+	case state1G:
+		head := &r.chunks[c.giantHead]
+		res = AccessResult{Node: head.node, PageSize: mem.Size1G, Page: PageID{r, c.giantHead, -1}}
+	case state4K:
+		sub := int(off % uint64(mem.Size2M) / uint64(mem.Size4K))
+		if c.subNode[sub] == unmappedNode {
+			res = s.fault(r, ci, core, off)
+			c = &r.chunks[ci]
+		} else {
+			res = AccessResult{Node: topo.NodeID(c.subNode[sub]), PageSize: mem.Size4K, Page: PageID{r, ci, sub}}
+		}
+	}
+	r.recordAccess(ci, off, thread)
+	return res
+}
+
+// recordAccess updates ground-truth counters at the current mapping
+// granularity.
+func (r *Region) recordAccess(ci int, off uint64, thread int) {
+	c := &r.chunks[ci]
+	tbit := uint64(1) << uint(thread%64)
+	switch c.state {
+	case state1G:
+		head := &r.chunks[c.giantHead]
+		head.accesses++
+		head.threadMask |= tbit
+	case state4K:
+		sub := int(off % uint64(mem.Size2M) / uint64(mem.Size4K))
+		c.subAcc[sub]++
+		c.subMask[sub] |= tbit
+		c.accesses++ // chunk-level total kept for cheap region sums
+	default:
+		c.accesses++
+		c.threadMask |= tbit
+	}
+}
+
+// fault maps the page containing off, charging handler time to core.
+func (s *AddrSpace) fault(r *Region, ci int, core topo.CoreID, off uint64) AccessResult {
+	size := s.AllocSize(r, ci)
+	if size == mem.Size2M && !r.THPEligible {
+		size = mem.Size4K
+	}
+	if size == mem.Size1G {
+		// 1 GB backing is established explicitly via MapGiant (hugetlbfs
+		// semantics); a stray fault falls back to 4 KB.
+		size = mem.Size4K
+	}
+	node := s.placeNode(core, size)
+	c := &r.chunks[ci]
+	var res AccessResult
+	switch size {
+	case mem.Size2M:
+		if c.state == state4K && c.mappedSubs() > 0 {
+			// A split chunk keeps 4 KB granularity; fault just the sub.
+			size = mem.Size4K
+		} else {
+			c.state = state2M
+			c.node = node
+			res = AccessResult{Node: node, PageSize: mem.Size2M, Page: PageID{r, ci, -1}}
+			s.faultCount2M++
+			r.count2M++
+		}
+	}
+	if size == mem.Size4K {
+		c.ensureSubs()
+		if c.state == stateUnmapped {
+			c.state = state4K
+		}
+		sub := int(off % uint64(mem.Size2M) / uint64(mem.Size4K))
+		c.subNode[sub] = uint8(node)
+		res = AccessResult{Node: node, PageSize: mem.Size4K, Page: PageID{r, ci, sub}}
+		s.faultCount4K++
+		r.count4K++
+	}
+	if err := s.Phys.Allocate(node, res.PageSize); err != nil {
+		// The chosen node is full: fall back to the emptiest node. The
+		// mapping created above is re-homed accordingly.
+		alt := s.emptiestNode()
+		if err := s.Phys.Allocate(alt, res.PageSize); err != nil {
+			panic(fmt.Sprintf("vm: machine out of memory mapping %s", r.Name))
+		}
+		s.rehome(r, ci, res, alt)
+		res.Node = alt
+	}
+	cost := s.faultCost(res.PageSize)
+	s.faultCyclesPerCore[core] += cost
+	s.faultersThisEpoch[int(core)] = struct{}{}
+	res.Faulted = true
+	res.FaultCycles = cost
+	return res
+}
+
+func (s *AddrSpace) rehome(r *Region, ci int, res AccessResult, node topo.NodeID) {
+	c := &r.chunks[ci]
+	if res.Page.Sub < 0 {
+		c.node = node
+	} else {
+		c.subNode[res.Page.Sub] = uint8(node)
+	}
+}
+
+// placeNode implements first-touch: pages land on the faulting core's
+// node.
+func (s *AddrSpace) placeNode(core topo.CoreID, _ mem.PageSize) topo.NodeID {
+	return s.Machine.NodeOf(core)
+}
+
+func (s *AddrSpace) emptiestNode() topo.NodeID {
+	best := topo.NodeID(0)
+	var bestFree uint64
+	for n := 0; n < s.Machine.Nodes; n++ {
+		if free := s.Phys.FreeBytes(topo.NodeID(n)); free > bestFree {
+			bestFree = free
+			best = topo.NodeID(n)
+		}
+	}
+	return best
+}
+
+// FaultCostFor prices one fault at the given page size under the current
+// (lagged) page-table-lock contention; the engine uses it to charge
+// allocation churn in expectation.
+func (s *AddrSpace) FaultCostFor(size mem.PageSize) float64 { return s.faultCost(size) }
+
+// MarkFaulter records that core is taking (synthetic, churn) faults this
+// epoch so the lagged lock-contention estimate counts it.
+func (s *AddrSpace) MarkFaulter(core topo.CoreID) {
+	s.faultersThisEpoch[int(core)] = struct{}{}
+}
+
+// faultCost prices one fault including lagged lock contention.
+func (s *AddrSpace) faultCost(size mem.PageSize) float64 {
+	var base float64
+	switch size {
+	case mem.Size4K:
+		base = s.Faults.Base4K
+	case mem.Size2M:
+		base = s.Faults.Base2M
+	default:
+		base = s.Faults.Base1G
+	}
+	contenders := s.laggedFaulters - 1
+	if contenders < 0 {
+		contenders = 0
+	}
+	return base + float64(contenders)*s.Faults.LockCyclesPerFaulter
+}
+
+// popcount64 is a tiny helper for thread-mask cardinality.
+func popcount64(x uint64) int { return bits.OnesCount64(x) }

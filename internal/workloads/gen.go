@@ -1,0 +1,563 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/tlb"
+	"repro/internal/topo"
+	"repro/internal/vm"
+)
+
+// BuiltRegion couples a region spec with its virtual-memory region and
+// derived geometry.
+type BuiltRegion struct {
+	Spec RegionSpec
+	VM   *vm.Region
+
+	blockBytes uint64
+	numBlocks  int
+	pages4K    uint64 // total 4 KB pages spanned
+
+	// ownBlocks[t] lists the blocks thread t owns (PrivateBlocked only).
+	ownBlocks [][]uint64
+	// ownerArr maps block → owner when ScatterBlocks: each group of T
+	// consecutive blocks is a seeded permutation of all T threads, so
+	// ownership is balanced but adjacent blocks belong to unrelated
+	// threads.
+	ownerArr []int32
+}
+
+// owner returns the thread owning block b of a PrivateBlocked region:
+// round-robin normally, permuted when ScatterBlocks (unstructured
+// layouts).
+func (br *BuiltRegion) owner(b uint64, threads int) int {
+	if br.ownerArr != nil {
+		return int(br.ownerArr[b])
+	}
+	return int(b % uint64(threads))
+}
+
+// Instance is one benchmark instantiated on a machine: regions are mapped,
+// per-thread cursors initialized, and generators ready.
+type Instance struct {
+	Spec    Spec
+	Machine *topo.Machine
+	Space   *vm.AddrSpace
+	Threads int
+	Regions []*BuiltRegion
+
+	// cumWeight[p] holds the cumulative region weights of phase p
+	// (phase 0 = the spec's base weights).
+	cumWeight [][]float64
+
+	// Allocation-phase cursors, one per thread: position in the global
+	// first-touch plan (InitOwner/InitMaster regions).
+	allocRegion []int
+	allocPage   []uint64
+
+	// Streaming cursors per (thread, region).
+	streamPos [][]uint64
+}
+
+// Build instantiates spec for a machine with one thread per core.
+func Build(spec Spec, space *vm.AddrSpace, m *topo.Machine) (*Instance, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	threads := m.TotalCores()
+	in := &Instance{
+		Spec:    spec,
+		Machine: m,
+		Space:   space,
+		Threads: threads,
+	}
+	for _, rs := range spec.Regions {
+		r := space.Mmap(rs.Name, rs.Bytes, !rs.FileBacked)
+		br := &BuiltRegion{Spec: rs, VM: r}
+		br.blockBytes = rs.BlockBytes
+		if br.blockBytes == 0 {
+			br.blockBytes = rs.Bytes / uint64(threads)
+			if br.blockBytes == 0 {
+				br.blockBytes = uint64(mem.Size4K)
+			}
+		}
+		br.numBlocks = int(rs.Bytes / br.blockBytes)
+		if br.numBlocks == 0 {
+			br.numBlocks = 1
+			br.blockBytes = rs.Bytes
+		}
+		br.pages4K = rs.Bytes / uint64(mem.Size4K)
+		if br.pages4K == 0 {
+			br.pages4K = 1
+		}
+		if rs.Sharing == PrivateBlocked {
+			if rs.ScatterBlocks {
+				br.ownerArr = scatterOwners(br.numBlocks, threads, uint64(r.ID))
+			}
+			br.ownBlocks = make([][]uint64, threads)
+			for b := uint64(0); b < uint64(br.numBlocks); b++ {
+				t := br.owner(b, threads)
+				br.ownBlocks[t] = append(br.ownBlocks[t], b)
+			}
+		}
+		in.Regions = append(in.Regions, br)
+	}
+	base := make([]float64, len(spec.Regions))
+	for i, rs := range spec.Regions {
+		base[i] = rs.Weight
+	}
+	in.cumWeight = [][]float64{cumulate(base)}
+	for _, p := range spec.Phases {
+		in.cumWeight = append(in.cumWeight, cumulate(p.Weights))
+	}
+	in.allocRegion = make([]int, threads)
+	in.allocPage = make([]uint64, threads)
+	in.streamPos = make([][]uint64, threads)
+	for t := range in.streamPos {
+		in.streamPos[t] = make([]uint64, len(in.Regions))
+	}
+	return in, nil
+}
+
+// initThread returns the thread that first-touches 4 KB page p of region
+// br. The striped pattern assigns 16 KB granules of pages to pseudo-random
+// threads, modeling a parallel initialization loop: 4 KB placement is
+// balanced across nodes, while the first toucher of any 2 MB chunk — the
+// thread that claims it whole under THP — is effectively random.
+func (in *Instance) initThread(br *BuiltRegion, p uint64) int {
+	switch br.Spec.Init {
+	case InitMaster:
+		return 0
+	case InitOwner:
+		block := p * uint64(mem.Size4K) / br.blockBytes
+		if block >= uint64(br.numBlocks) {
+			block = uint64(br.numBlocks) - 1
+		}
+		return br.owner(block, in.Threads)
+	default: // InitStriped
+		h := (p + uint64(br.VM.ID)*1013) * 0x9E3779B97F4A7C15
+		h ^= h >> 31
+		return int(h % uint64(in.Threads))
+	}
+}
+
+// hotAccess returns the region's hot-subset access fraction.
+func (br *BuiltRegion) hotAccess() float64 {
+	if br.Spec.HotAccessFrac > 0 {
+		return br.Spec.HotAccessFrac
+	}
+	return 0.9
+}
+
+// scatterOwners assigns each group of `threads` consecutive blocks a
+// seeded Fisher-Yates permutation of all threads: balanced ownership with
+// pseudo-random adjacency.
+func scatterOwners(numBlocks, threads int, seed uint64) []int32 {
+	owners := make([]int32, numBlocks)
+	perm := make([]int32, threads)
+	for g := 0; g*threads < numBlocks; g++ {
+		rng := stats.NewRng(seed*1000003 + uint64(g))
+		for i := range perm {
+			perm[i] = int32(i)
+		}
+		for i := threads - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		base := g * threads
+		for i := 0; i < threads && base+i < numBlocks; i++ {
+			owners[base+i] = perm[i]
+		}
+	}
+	return owners
+}
+
+// AllocTouch is one first-touch operation of the allocation phase.
+type AllocTouch struct {
+	Region *BuiltRegion
+	Off    uint64
+	// Weight is the steady-equivalent accesses this touch represents
+	// (initializing the page's contents).
+	Weight float64
+}
+
+// NextAlloc returns thread t's next first-touch, or ok=false when t has
+// finished its share of the allocation phase. Regions are initialized in
+// declaration order by their statically assigned threads; the engine's
+// time-sliced rounds decide who reaches each 2 MB chunk first.
+func (in *Instance) NextAlloc(t int) (AllocTouch, bool) {
+	for in.allocRegion[t] < len(in.Regions) {
+		br := in.Regions[in.allocRegion[t]]
+		if br.Spec.SkipInit {
+			in.allocRegion[t]++
+			in.allocPage[t] = 0
+			continue
+		}
+		p := in.allocPage[t]
+		for ; p < br.pages4K; p++ {
+			if in.initThread(br, p) == t {
+				in.allocPage[t] = p + 1
+				return in.touch(br, p), true
+			}
+		}
+		in.allocRegion[t]++
+		in.allocPage[t] = 0
+	}
+	return AllocTouch{}, false
+}
+
+func (in *Instance) touch(br *BuiltRegion, p uint64) AllocTouch {
+	w := br.Spec.InitTouchWeight
+	if w <= 0 {
+		w = 128
+	}
+	return AllocTouch{Region: br, Off: p * uint64(mem.Size4K), Weight: w}
+}
+
+// AllocDone reports whether thread t has finished its allocation work.
+func (in *Instance) AllocDone(t int) bool {
+	return in.allocRegion[t] >= len(in.Regions)
+}
+
+// AllocAllDone reports whether the whole allocation phase is complete;
+// the engine holds steady state behind this barrier, like the init
+// barriers of the real programs.
+func (in *Instance) AllocAllDone() bool {
+	for t := 0; t < in.Threads; t++ {
+		if !in.AllocDone(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// SteadyAccess is one steady-state access request.
+type SteadyAccess struct {
+	RegionIdx int
+	Off       uint64
+}
+
+// cumulate builds a cumulative weight table.
+func cumulate(w []float64) []float64 {
+	out := make([]float64, len(w))
+	var c float64
+	for i, v := range w {
+		c += v
+		out[i] = c
+	}
+	return out
+}
+
+// PhaseAt returns the phase index active at the given progress fraction.
+func (in *Instance) PhaseAt(workFrac float64) int {
+	p := 0
+	for i, ph := range in.Spec.Phases {
+		if workFrac >= ph.AtWorkFrac {
+			p = i + 1
+		}
+	}
+	return p
+}
+
+// NumPhases returns the number of phases (≥1).
+func (in *Instance) NumPhases() int { return len(in.cumWeight) }
+
+// NextSteady draws thread t's next steady-state access in phase 0.
+func (in *Instance) NextSteady(t int, rng *stats.Rng) SteadyAccess {
+	return in.NextSteadyPhase(t, rng, 0)
+}
+
+// NextSteadyPhase draws thread t's next steady-state access under the
+// region weights of the given phase, using the thread's deterministic
+// stream rng.
+func (in *Instance) NextSteadyPhase(t int, rng *stats.Rng, phase int) SteadyAccess {
+	ri := in.pickRegion(rng, phase)
+	br := in.Regions[ri]
+	var off uint64
+	switch br.Spec.Sharing {
+	case SharedAll:
+		off = in.sharedOffset(br, t, ri, rng)
+	default:
+		off = in.privateOffset(br, t, ri, rng)
+	}
+	if off >= br.Spec.Bytes {
+		off = br.Spec.Bytes - 1
+	}
+	return SteadyAccess{RegionIdx: ri, Off: off &^ 63} // align to cache line
+}
+
+func (in *Instance) pickRegion(rng *stats.Rng, phase int) int {
+	cum := in.cumWeight[phase]
+	u := rng.Float64() * cum[len(cum)-1]
+	for i, c := range cum {
+		if u < c {
+			return i
+		}
+	}
+	return len(cum) - 1
+}
+
+// sharedOffset draws an offset in a SharedAll region according to its
+// locality class. The hot subset of a ZipfHot region is the contiguous
+// prefix, so its 4 KB pages coalesce onto few 2 MB pages — the paper's
+// hot-page mechanism.
+func (in *Instance) sharedOffset(br *BuiltRegion, t, ri int, rng *stats.Rng) uint64 {
+	switch br.Spec.Loc {
+	case cache.Stream:
+		pos := in.streamPos[t][ri]
+		in.streamPos[t][ri] = (pos + 64) % br.Spec.Bytes
+		return pos
+	case cache.ZipfHot:
+		hotBytes := uint64(float64(br.Spec.Bytes) * br.Spec.HotFrac)
+		if hotBytes < 64 {
+			hotBytes = 64
+		}
+		if rng.Bernoulli(br.hotAccess()) {
+			return uint64(rng.Int63n(int64(hotBytes)))
+		}
+		return uint64(rng.Int63n(int64(br.Spec.Bytes)))
+	default:
+		if br.Spec.ZipfS > 0 {
+			elems := int(br.Spec.Bytes / 64)
+			if elems < 1 {
+				elems = 1
+			}
+			return uint64(rng.Zipf(elems, br.Spec.ZipfS)) * 64
+		}
+		return uint64(rng.Int63n(int64(br.Spec.Bytes)))
+	}
+}
+
+// privateOffset draws an offset in a PrivateBlocked region: the thread's
+// own blocks, except for HaloFrac accesses into another thread's halo.
+func (in *Instance) privateOffset(br *BuiltRegion, t, ri int, rng *stats.Rng) uint64 {
+	if br.Spec.HaloFrac > 0 && rng.Bernoulli(br.Spec.HaloFrac) {
+		// Unstructured-mesh neighbor: a random other thread's halo.
+		other := rng.Intn(in.Threads)
+		if in.Threads > 1 && other == t {
+			other = (other + 1) % in.Threads
+		}
+		block := in.randomBlockOf(br, other, rng)
+		halo := br.Spec.HaloBytes
+		if halo == 0 || halo*2 > br.blockBytes {
+			halo = br.blockBytes / 4
+		}
+		w := uint64(rng.Int63n(int64(2 * halo)))
+		if w < halo {
+			return block*br.blockBytes + w // leading halo
+		}
+		return block*br.blockBytes + br.blockBytes - (w - halo) - 64 // trailing halo
+	}
+	block := in.randomBlockOf(br, t, rng)
+	base := block * br.blockBytes
+	switch br.Spec.Loc {
+	case cache.Stream:
+		pos := in.streamPos[t][ri]
+		in.streamPos[t][ri] = (pos + 64) % br.blockBytes
+		return base + pos
+	case cache.ZipfHot:
+		hot := uint64(float64(br.blockBytes) * br.Spec.HotFrac)
+		if hot < 64 {
+			hot = 64
+		}
+		if rng.Bernoulli(br.hotAccess()) {
+			return base + uint64(rng.Int63n(int64(hot)))
+		}
+		return base + uint64(rng.Int63n(int64(br.blockBytes)))
+	default:
+		return base + uint64(rng.Int63n(int64(br.blockBytes)))
+	}
+}
+
+func (in *Instance) randomBlockOf(br *BuiltRegion, t int, rng *stats.Rng) uint64 {
+	own := br.ownBlocks[t]
+	if len(own) == 0 {
+		// Fewer blocks than threads: share block t mod numBlocks.
+		return uint64(t % br.numBlocks)
+	}
+	return own[rng.Intn(len(own))]
+}
+
+// ThreadShare returns the fraction of a region's bytes thread t touches in
+// steady state (ownership share plus halos for PrivateBlocked; everything
+// for SharedAll).
+func (in *Instance) ThreadShare(ri int) float64 {
+	br := in.Regions[ri]
+	if br.Spec.Sharing == SharedAll {
+		return 1
+	}
+	own := float64(br.numBlocks/in.Threads) * float64(br.blockBytes)
+	if own == 0 {
+		own = float64(br.blockBytes)
+	}
+	share := own / float64(br.Spec.Bytes)
+	if br.Spec.HaloFrac > 0 {
+		share *= 1.3 // halo visits widen the footprint somewhat
+	}
+	return stats.Clamp(share, 0, 1)
+}
+
+// PageCounts is a region's current translation census (maintained by the
+// engine once per epoch, O(1) per region via vm counters).
+type PageCounts struct {
+	N4K, N2M, N1G int
+}
+
+// TLBSegments converts one thread's view of the address space into TLB
+// model segments, splitting hot subsets so the TLB fill model can
+// prioritize them.
+func (in *Instance) TLBSegments(t int, counts []PageCounts) []tlb.Segment {
+	segs := make([]tlb.Segment, 0, len(in.Regions)*2)
+	for ri, br := range in.Regions {
+		w := br.Spec.Weight
+		if w <= 0 {
+			continue
+		}
+		share := in.ThreadShare(ri)
+		c := counts[ri]
+		bytesBySize := [3]float64{
+			float64(c.N4K) * float64(mem.Size4K),
+			float64(c.N2M) * float64(mem.Size2M),
+			float64(c.N1G) * float64(mem.Size1G),
+		}
+		sizes := [3]mem.PageSize{mem.Size4K, mem.Size2M, mem.Size1G}
+		total := bytesBySize[0] + bytesBySize[1] + bytesBySize[2]
+		if total <= 0 {
+			// Nothing mapped yet: assume 4 KB pages over the full span.
+			total = float64(br.Spec.Bytes)
+			bytesBySize[0] = total
+		}
+		if br.Spec.Loc == cache.ZipfHot {
+			// Attribute 4 KB-mapped bytes to the hot subset first: when a
+			// policy splits pages, it splits the hot (heavily sampled)
+			// ones, so the small-page census *is* the hot set. This is
+			// what lets the conservative component see TLB pressure
+			// return after a reactive split.
+			ha := br.hotAccess()
+			hotLeft := total * share * br.Spec.HotFrac
+			var hotSegs, coldSegs []tlb.Segment
+			var hotTotal, coldTotal float64
+			for si, b := range bytesBySize {
+				tb := b * share
+				if tb <= 0 {
+					continue
+				}
+				hb := tb
+				if hb > hotLeft {
+					hb = hotLeft
+				}
+				hotLeft -= hb
+				cb := tb - hb
+				if hb > 0 {
+					hotSegs = append(hotSegs, tlb.Segment{Weight: hb, Pages: max1(hb / float64(sizes[si])), Size: sizes[si]})
+					hotTotal += hb
+				}
+				if cb > 0 {
+					coldSegs = append(coldSegs, tlb.Segment{Weight: cb, Pages: max1(cb / float64(sizes[si])), Size: sizes[si]})
+					coldTotal += cb
+				}
+			}
+			for _, s := range hotSegs {
+				s.Weight = w * ha * s.Weight / hotTotal
+				segs = append(segs, s)
+			}
+			for _, s := range coldSegs {
+				s.Weight = w * (1 - ha) * s.Weight / coldTotal
+				segs = append(segs, s)
+			}
+			continue
+		}
+		for si, b := range bytesBySize {
+			if b <= 0 {
+				continue
+			}
+			frac := b / total
+			pages := b / float64(sizes[si]) * share
+			if pages < 1 {
+				pages = 1
+			}
+			if br.Spec.Loc == cache.Stream {
+				segs = append(segs, tlb.Segment{Weight: w * frac, Pages: pages, Size: sizes[si], Sequential: true})
+			} else {
+				segs = append(segs, tlb.Segment{Weight: w * frac, Pages: pages, Size: sizes[si]})
+			}
+		}
+	}
+	return segs
+}
+
+// CacheProfile returns the per-access cache level probabilities for region
+// ri (identical for all threads: ownership shares are symmetric), with the
+// region's DRAM floor applied. Private regions compete for the node's L3
+// (one copy per thread); shared regions are cached once per node and serve
+// all its cores, so they see the full L3.
+func (in *Instance) CacheProfile(ri int, hier cache.Hierarchy) cache.LevelProbs {
+	br := in.Regions[ri]
+	footprint := uint64(float64(br.Spec.Bytes) * in.ThreadShare(ri))
+	if footprint == 0 {
+		footprint = br.Spec.Bytes
+	}
+	sharers := in.Machine.CoresPerNode
+	if br.Spec.Sharing == SharedAll {
+		sharers = 1
+	}
+	p := hier.Profile(footprint, br.Spec.Loc, br.Spec.HotFrac, br.Spec.HotAccessFrac, sharers)
+	p = ApplyDRAMFloor(p, br.Spec.DRAMFloor)
+	return ApplyDRAMCap(p, br.Spec.DRAMCap)
+}
+
+// ApplyDRAMCap bounds the DRAM probability from above, crediting the
+// excess to the L3 (write-allocated, cache-warm data).
+func ApplyDRAMCap(p cache.LevelProbs, cap float64) cache.LevelProbs {
+	if cap <= 0 {
+		return p
+	}
+	d := p.DRAM()
+	if d <= cap {
+		return p
+	}
+	p.L3 += d - cap
+	return p
+}
+
+// ApplyDRAMFloor raises the DRAM probability to at least floor, scaling
+// the cache-hit probabilities down proportionally; it models coherence
+// misses on write-shared data.
+func ApplyDRAMFloor(p cache.LevelProbs, floor float64) cache.LevelProbs {
+	d := p.DRAM()
+	if floor <= d {
+		return p
+	}
+	hit := p.L1 + p.L2 + p.L3
+	if hit <= 0 {
+		return p
+	}
+	scale := (1 - floor) / hit
+	return cache.LevelProbs{L1: p.L1 * scale, L2: p.L2 * scale, L3: p.L3 * scale}
+}
+
+// String renders a one-line summary.
+func (in *Instance) String() string {
+	return fmt.Sprintf("%s on machine %s (%d threads, %d regions)",
+		in.Spec.Name, in.Machine.Name, in.Threads, len(in.Regions))
+}
+
+// max1 clamps a page count to at least one page.
+func max1(x float64) float64 {
+	if x < 1 {
+		return 1
+	}
+	return x
+}
+
+// NextPhaseBoundary returns the work fraction at which the phase after
+// `phase` begins, or 0 when `phase` is the last.
+func (in *Instance) NextPhaseBoundary(phase int) float64 {
+	if phase < len(in.Spec.Phases) {
+		return in.Spec.Phases[phase].AtWorkFrac
+	}
+	return 0
+}

@@ -1,0 +1,90 @@
+// Package lpnuma is the public API of the reproduction of "Large Pages
+// May Be Harmful on NUMA Systems" (Gaud et al., USENIX ATC 2014).
+//
+// It exposes the simulated NUMA machines, the paper's benchmark suite,
+// the OS policies under study (default Linux, Transparent Huge Pages,
+// Carrefour, and the paper's contribution Carrefour-LP), a deterministic
+// simulation runner, and the regeneration harness for every table and
+// figure in the paper's evaluation.
+//
+// Quick start:
+//
+//	res, err := lpnuma.Run(lpnuma.Request{
+//		Machine:  "A",
+//		Workload: "CG.D",
+//		Policy:   lpnuma.PolicyCarrefourLP,
+//		Seed:     1,
+//	})
+//
+// Everything is deterministic: equal (machine, workload, policy, seed)
+// inputs produce identical results.
+package lpnuma
+
+import (
+	"repro/internal/experiments"
+	"repro/internal/policy"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/workloads"
+)
+
+// Policy names accepted by Request.Policy.
+const (
+	PolicyLinux4K      = "Linux4K"
+	PolicyTHP          = "THP"
+	PolicyCarrefour2M  = "Carrefour2M"
+	PolicyConservative = "Conservative"
+	PolicyReactive     = "Reactive"
+	PolicyCarrefourLP  = "CarrefourLP"
+	PolicyHugeTLB1G    = "HugeTLB1G"
+)
+
+// Request names one simulation; see runner.Request.
+type Request = runner.Request
+
+// Result is the outcome of one simulation; see sim.Result.
+type Result = sim.Result
+
+// Config tunes the engine; see sim.Config.
+type Config = sim.Config
+
+// DefaultConfig returns the evaluation's engine calibration.
+func DefaultConfig() Config { return sim.DefaultConfig() }
+
+// Run executes one simulation.
+func Run(req Request) (Result, error) { return runner.Run(req) }
+
+// RunAll executes many simulations with host parallelism, returning
+// results in request order.
+func RunAll(reqs []Request) ([]Result, error) { return runner.RunAll(reqs) }
+
+// ImprovementPct is the paper's performance metric: percent improvement
+// of x over baseline.
+func ImprovementPct(baseline, x Result) float64 { return runner.ImprovementPct(baseline, x) }
+
+// MachineA returns the paper's machine A (4 NUMA nodes, 24 cores, 64 GB).
+func MachineA() *topo.Machine { return topo.MachineA() }
+
+// MachineB returns the paper's machine B (8 NUMA nodes, 64 cores, 512 GB).
+func MachineB() *topo.Machine { return topo.MachineB() }
+
+// Workloads lists the benchmark names of the paper's suite (plus
+// streamcluster for the 1 GB-page study).
+func Workloads() []string { return workloads.Names() }
+
+// Policies lists the available OS policy names.
+func Policies() []string { return policy.Names() }
+
+// Experiments lists the regenerable table/figure identifiers.
+func Experiments() []string { return experiments.IDs() }
+
+// ExperimentConfig parameterizes a regeneration pass.
+type ExperimentConfig = experiments.Config
+
+// RunExperiment regenerates one of the paper's tables or figures by id
+// ("fig1".."fig5", "table1".."table3", "overhead", "verylarge") and
+// returns its rendered text plus the indexed numeric values.
+func RunExperiment(id string, cfg ExperimentConfig) (experiments.Result, error) {
+	return experiments.ByID(id, cfg)
+}

@@ -1,0 +1,40 @@
+package lpnuma
+
+import (
+	"testing"
+)
+
+func TestSurfaceLists(t *testing.T) {
+	if len(Workloads()) != 20 {
+		t.Fatalf("workloads = %d, want 20", len(Workloads()))
+	}
+	if len(Policies()) != 7 {
+		t.Fatalf("policies = %d, want 7", len(Policies()))
+	}
+	if len(Experiments()) != 10 {
+		t.Fatalf("experiments = %d, want 10", len(Experiments()))
+	}
+}
+
+func TestMachines(t *testing.T) {
+	if MachineA().TotalCores() != 24 || MachineB().TotalCores() != 64 {
+		t.Fatal("machine definitions changed")
+	}
+}
+
+func TestRunRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WorkScale = 0.02
+	res, err := Run(Request{Machine: "A", Workload: "Kmeans", Policy: PolicyTHP, Seed: 1, Cfg: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != "Kmeans" || res.Policy != "THP" {
+		t.Fatalf("labels: %+v", res)
+	}
+	base, err := Run(Request{Machine: "A", Workload: "Kmeans", Policy: PolicyLinux4K, Seed: 1, Cfg: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ImprovementPct(base, res) // must not panic
+}
