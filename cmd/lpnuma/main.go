@@ -6,88 +6,261 @@
 //	lpnuma list                         # benchmarks, policies, experiments
 //	lpnuma run -m A -w CG.D -p THP      # one simulation, metrics to stdout
 //	lpnuma experiment fig1 [-scale 0.3] # regenerate a figure or table
-//	lpnuma all [-scale 0.3]             # regenerate everything (EXPERIMENTS.md source)
+//	lpnuma all [-scale 0.3] [-j 8]      # regenerate everything (EXPERIMENTS.md source)
+//
+// The experiment and all subcommands share one sweep scheduler: the
+// union of every requested cell is deduplicated and each unique
+// (machine, workload, policy, seed, config) simulation runs exactly once
+// on a worker pool of -j goroutines. Output is identical for any -j;
+// progress goes to stderr so stdout stays a clean report.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
+	"repro/internal/report"
+	"repro/internal/runcache"
 	"repro/lpnuma"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run dispatches the subcommands; it is main minus os.Exit so tests can
+// drive it.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
 	}
-	switch os.Args[1] {
+	switch args[0] {
 	case "list":
-		fmt.Println("benchmarks:", strings.Join(lpnuma.Workloads(), " "))
-		fmt.Println("policies:  ", strings.Join(lpnuma.Policies(), " "))
-		fmt.Println("experiments:", strings.Join(lpnuma.Experiments(), " "))
+		fmt.Fprintln(stdout, "benchmarks:", strings.Join(lpnuma.Workloads(), " "))
+		fmt.Fprintln(stdout, "policies:  ", strings.Join(lpnuma.Policies(), " "))
+		fmt.Fprintln(stdout, "experiments:", strings.Join(lpnuma.Experiments(), " "))
+		return 0
 	case "run":
-		runOne(os.Args[2:])
+		return exitCode(runOne(args[1:], stdout, stderr), stderr)
 	case "experiment":
-		if len(os.Args) < 3 {
-			fmt.Fprintln(os.Stderr, "experiment requires an id; see `lpnuma list`")
-			os.Exit(2)
+		if len(args) >= 2 && (args[1] == "-h" || args[1] == "-help" || args[1] == "--help") {
+			_, err := parseExperimentFlags(args[1:], stderr)
+			return exitCode(err, stderr)
 		}
-		runExperiments(os.Args[3:], os.Args[2])
+		if len(args) < 2 || strings.HasPrefix(args[1], "-") {
+			fmt.Fprintln(stderr, "experiment requires an id; see `lpnuma list`")
+			return 2
+		}
+		return exitCode(runExperiments(args[2:], stdout, stderr, args[1]), stderr)
 	case "all":
-		runExperiments(os.Args[2:], lpnuma.Experiments()...)
+		return exitCode(runExperiments(args[1:], stdout, stderr, lpnuma.Experiments()...), stderr)
 	default:
-		usage()
-		os.Exit(2)
+		usage(stderr)
+		return 2
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lpnuma {list|run|experiment <id>|all} [flags]")
+// errFlagParse marks flag-set parse failures the flag package has
+// already reported to stderr (message plus usage), so run must not
+// print them a second time.
+var errFlagParse = errors.New("flag parse error")
+
+// exitCode maps a subcommand's error to its exit status: -h/-help is a
+// successful exit after the flag package printed the defaults, and parse
+// errors were already reported.
+func exitCode(err error, stderr io.Writer) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, flag.ErrHelp):
+		return 0
+	case errors.Is(err, errFlagParse):
+		return 2
+	default:
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
+	}
 }
 
-func runOne(args []string) {
-	fs := flag.NewFlagSet("run", flag.ExitOnError)
+// parseFlags runs fs.Parse with errors and -h output routed to stderr.
+func parseFlags(fs *flag.FlagSet, args []string, stderr io.Writer) error {
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return flag.ErrHelp
+		}
+		return errFlagParse
+	}
+	return nil
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "usage: lpnuma {list|run|experiment <id>|all} [flags]")
+}
+
+func runOne(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	machine := fs.String("m", "A", "machine (A or B)")
 	workload := fs.String("w", "CG.D", "benchmark name")
 	pol := fs.String("p", "THP", "policy name")
 	seed := fs.Uint64("seed", 1, "simulation seed")
-	fs.Parse(args)
+	if err := parseFlags(fs, args, stderr); err != nil {
+		return err
+	}
 	start := time.Now()
 	res, err := lpnuma.Run(lpnuma.Request{Machine: *machine, Workload: *workload, Policy: *pol, Seed: *seed})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Printf("%s on machine %s under %s (simulated in %v)\n", res.Workload, res.Machine, res.Policy, time.Since(start).Round(time.Millisecond))
-	fmt.Printf("  runtime      %.2fs (%d epochs)\n", res.RuntimeSeconds, res.Epochs)
-	fmt.Printf("  LAR          %.1f%%\n", res.LARPct)
-	fmt.Printf("  imbalance    %.1f%%\n", res.ImbalancePct)
-	fmt.Printf("  L2-PTW share %.1f%%\n", res.PTWSharePct)
-	fmt.Printf("  fault time   %.0fms max-core (%.1f%% of run)\n", res.MaxCoreFaultSeconds*1000, res.MaxFaultSharePct)
-	fmt.Printf("  PAMUP %.1f%%  NHP %d  PSP %.1f%%\n", res.PageMetrics.PAMUPPct, res.PageMetrics.NHP, res.PageMetrics.PSPPct)
-	fmt.Printf("  faults: %d×4K %d×2M %d×1G; IBS samples %d\n", res.FaultCounts[0], res.FaultCounts[1], res.FaultCounts[2], res.IBSSamplesTaken)
+	fmt.Fprintf(stdout, "%s on machine %s under %s (simulated in %v)\n", res.Workload, res.Machine, res.Policy, time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(stdout, "  runtime      %.2fs (%d epochs)\n", res.RuntimeSeconds, res.Epochs)
+	fmt.Fprintf(stdout, "  LAR          %.1f%%\n", res.LARPct)
+	fmt.Fprintf(stdout, "  imbalance    %.1f%%\n", res.ImbalancePct)
+	fmt.Fprintf(stdout, "  L2-PTW share %.1f%%\n", res.PTWSharePct)
+	fmt.Fprintf(stdout, "  fault time   %.0fms max-core (%.1f%% of run)\n", res.MaxCoreFaultSeconds*1000, res.MaxFaultSharePct)
+	fmt.Fprintf(stdout, "  PAMUP %.1f%%  NHP %d  PSP %.1f%%\n", res.PageMetrics.PAMUPPct, res.PageMetrics.NHP, res.PageMetrics.PSPPct)
+	fmt.Fprintf(stdout, "  faults: %d×4K %d×2M %d×1G; IBS samples %d\n", res.FaultCounts[0], res.FaultCounts[1], res.FaultCounts[2], res.IBSSamplesTaken)
 	if res.TimedOut {
-		fmt.Println("  WARNING: simulation hit the time cap before completing")
+		fmt.Fprintln(stdout, "  WARNING: simulation hit the time cap before completing")
 	}
+	return nil
 }
 
-func runExperiments(args []string, ids ...string) {
-	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
-	seed := fs.Uint64("seed", 1, "simulation seed")
-	scale := fs.Float64("scale", 1.0, "work scale (<1 for quicker, noisier passes)")
-	fs.Parse(args)
-	cfg := lpnuma.ExperimentConfig{Seed: *seed, WorkScale: *scale}
+// experimentFlags are the parsed options of the experiment/all
+// subcommands.
+type experimentFlags struct {
+	seed    uint64
+	scale   float64
+	jobs    int
+	verbose bool
+	out     string
+}
+
+// parseExperimentFlags parses the experiment/all flag set.
+func parseExperimentFlags(args []string, stderr io.Writer) (experimentFlags, error) {
+	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
+	f := experimentFlags{}
+	fs.Uint64Var(&f.seed, "seed", 1, "simulation seed")
+	fs.Float64Var(&f.scale, "scale", 1.0, "work scale (<1 for quicker, noisier passes)")
+	fs.IntVar(&f.jobs, "j", 0, "concurrent simulations (0 = host CPU count)")
+	fs.BoolVar(&f.verbose, "v", false, "log each completed simulation cell")
+	fs.StringVar(&f.out, "o", "", "also write the pass as markdown to this file (EXPERIMENTS.md source)")
+	if err := parseFlags(fs, args, stderr); err != nil {
+		return f, err
+	}
+	// Report post-parse usage errors ourselves, with the same exit-2
+	// semantics as the flag package's own parse errors.
+	if len(fs.Args()) > 0 {
+		fmt.Fprintf(stderr, "unexpected arguments: %s\n", strings.Join(fs.Args(), " "))
+		return f, errFlagParse
+	}
+	if f.jobs < 0 {
+		fmt.Fprintf(stderr, "-j must be >= 0, got %d\n", f.jobs)
+		return f, errFlagParse
+	}
+	return f, nil
+}
+
+func runExperiments(args []string, stdout, stderr io.Writer, ids ...string) (retErr error) {
+	f, err := parseExperimentFlags(args, stderr)
+	if err != nil {
+		return err
+	}
+	if f.out != "" {
+		// Fail on an unwritable output path before the pass, not after
+		// minutes of simulation. Open without truncating so a failing
+		// pass never clobbers an existing document; if the probe had to
+		// create the file and the pass then fails, remove the empty
+		// leftover.
+		_, statErr := os.Stat(f.out)
+		probe, err := os.OpenFile(f.out, os.O_WRONLY|os.O_CREATE, 0o644)
+		if err != nil {
+			return err
+		}
+		probe.Close()
+		if os.IsNotExist(statErr) {
+			defer func() {
+				if retErr != nil {
+					os.Remove(f.out)
+				}
+			}()
+		}
+	}
+	cfg := lpnuma.ExperimentConfig{Seed: f.seed, WorkScale: f.scale}
+	sched := lpnuma.NewScheduler(f.jobs)
+	if f.verbose {
+		sched.Progress = func(done, total int, key runcache.Key) {
+			fmt.Fprintf(stderr, "  [%d/%d] %s\n", done, total, key)
+		}
+	}
+	results := make([]lpnuma.ExperimentResult, 0, len(ids))
+	passStart := time.Now()
 	for _, id := range ids {
 		start := time.Now()
-		res, err := lpnuma.RunExperiment(id, cfg)
+		res, err := lpnuma.RunExperimentWith(sched, id, cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("=== %s (regenerated in %v) ===\n\n%s\n", res.ID, time.Since(start).Round(time.Millisecond), res.Text)
+		fmt.Fprintf(stderr, "%s: %d cells (%d simulated, %d deduped) in %v\n",
+			res.ID, res.Sweep.Requested, res.Sweep.Runs, res.Sweep.Deduped(),
+			time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "=== %s ===\n\n%s\n", res.ID, res.Text)
+		results = append(results, res)
 	}
+	summary := reuseSummary(results, sched)
+	fmt.Fprintln(stdout, summary)
+	fmt.Fprintf(stderr, "pass complete: %d simulations on %d workers in %v\n",
+		sched.Totals().Runs, sched.Workers(), time.Since(passStart).Round(time.Millisecond))
+	if f.out != "" {
+		if err := os.WriteFile(f.out, []byte(markdown(results, summary, f, ids)), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "wrote %s\n", f.out)
+	}
+	return nil
+}
+
+// reuseSummary renders the cross-experiment cache accounting.
+func reuseSummary(results []lpnuma.ExperimentResult, sched *lpnuma.Scheduler) string {
+	rows := make([]report.ReuseRow, len(results))
+	for i, res := range results {
+		rows[i] = report.ReuseRow{
+			ID:        res.ID,
+			Cells:     res.Sweep.Requested,
+			Unique:    res.Sweep.Unique,
+			CacheHits: res.Sweep.Hits,
+			Runs:      res.Sweep.Runs,
+		}
+	}
+	return report.ReuseSummary(rows, sched.Totals().Runs)
+}
+
+// markdown renders a regeneration pass as the EXPERIMENTS.md document.
+// ids names the experiments the pass actually ran, so the provenance
+// line reproduces this document rather than always claiming `all`.
+func markdown(results []lpnuma.ExperimentResult, summary string, f experimentFlags, ids []string) string {
+	sub := "all"
+	if len(ids) == 1 {
+		sub = "experiment " + ids[0]
+	}
+	var b strings.Builder
+	b.WriteString("# EXPERIMENTS\n\n")
+	b.WriteString("Reproduced figures and tables of *Large Pages May Be Harmful on\n")
+	b.WriteString("NUMA Systems* (Gaud et al., USENIX ATC 2014), regenerated by the\n")
+	b.WriteString("simulation in this repository. Regenerate with:\n\n")
+	fmt.Fprintf(&b, "```\ngo run ./cmd/lpnuma %s -seed %d -scale %g -o %s\n```\n\n", sub, f.seed, f.scale, f.out)
+	b.WriteString("Output is deterministic: the same seed and scale reproduce this\n")
+	b.WriteString("file byte for byte, for any `-j` worker count.\n\n")
+	for _, res := range results {
+		fmt.Fprintf(&b, "## %s\n\n```\n%s```\n\n", res.ID, res.Text)
+	}
+	b.WriteString("## sweep reuse\n\n")
+	fmt.Fprintf(&b, "```\n%s```\n", summary)
+	return b.String()
 }

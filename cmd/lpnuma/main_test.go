@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/lpnuma"
+)
+
+func TestParseExperimentFlags(t *testing.T) {
+	f, err := parseExperimentFlags(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.seed != 1 || f.scale != 1.0 || f.jobs != 0 || f.verbose || f.out != "" {
+		t.Fatalf("defaults wrong: %+v", f)
+	}
+
+	f, err = parseExperimentFlags([]string{"-j", "8", "-scale", "0.25", "-seed", "7", "-v", "-o", "out.md"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.jobs != 8 {
+		t.Fatalf("-j not parsed: %+v", f)
+	}
+	if f.scale != 0.25 || f.seed != 7 || !f.verbose || f.out != "out.md" {
+		t.Fatalf("flags wrong: %+v", f)
+	}
+
+	if _, err := parseExperimentFlags([]string{"-j", "-3"}, io.Discard); err == nil {
+		t.Fatal("negative -j accepted")
+	}
+	if _, err := parseExperimentFlags([]string{"-j", "many"}, io.Discard); err == nil {
+		t.Fatal("non-numeric -j accepted")
+	}
+	if _, err := parseExperimentFlags([]string{"stray"}, io.Discard); err == nil {
+		t.Fatal("stray positional argument accepted")
+	}
+}
+
+func TestHelpAndParseErrors(t *testing.T) {
+	// -h is a successful exit that documents the flags on stderr.
+	var out, errb bytes.Buffer
+	if code := run([]string{"all", "-h"}, &out, &errb); code != 0 {
+		t.Fatalf("-h exited %d, want 0", code)
+	}
+	for _, want := range []string{"-j", "-scale", "-seed", "-o"} {
+		if !strings.Contains(errb.String(), want) {
+			t.Fatalf("-h output missing %q:\n%s", want, errb.String())
+		}
+	}
+	if code := run([]string{"run", "-h"}, &out, &errb); code != 0 {
+		t.Fatalf("run -h exited %d, want 0", code)
+	}
+
+	// An unknown flag is reported once (by the flag package), exit 2.
+	errb.Reset()
+	if code := run([]string{"run", "-bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown flag exited %d, want 2", code)
+	}
+	if n := strings.Count(errb.String(), "flag provided but not defined"); n != 1 {
+		t.Fatalf("parse error reported %d times, want 1:\n%s", n, errb.String())
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"list"}, &out, &errb); code != 0 {
+		t.Fatalf("list exited %d: %s", code, errb.String())
+	}
+	for _, want := range []string{"benchmarks:", "policies:", "experiments:", "fig1"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("list output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("empty args exited %d, want 2", code)
+	}
+	if code := run([]string{"bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown subcommand exited %d, want 2", code)
+	}
+	if code := run([]string{"experiment"}, &out, &errb); code != 2 {
+		t.Fatalf("experiment without id exited %d, want 2", code)
+	}
+	if code := run([]string{"experiment", "-scale", "0.1"}, &out, &errb); code != 2 {
+		t.Fatalf("experiment with flag instead of id exited %d, want 2", code)
+	}
+}
+
+func TestExperimentEndToEnd(t *testing.T) {
+	outFile := filepath.Join(t.TempDir(), "EXPERIMENTS.md")
+	var out, errb bytes.Buffer
+	code := run([]string{"experiment", "verylarge", "-scale", "0.03", "-j", "2", "-o", outFile}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("experiment exited %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "=== verylarge ===") {
+		t.Fatalf("stdout missing experiment header:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "Sweep reuse") {
+		t.Fatalf("stdout missing reuse summary:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "verylarge: 4 cells") {
+		t.Fatalf("stderr missing progress line:\n%s", errb.String())
+	}
+
+	// -j must not change stdout.
+	var out1 bytes.Buffer
+	if code := run([]string{"experiment", "verylarge", "-scale", "0.03", "-j", "1"}, &out1, &errb); code != 0 {
+		t.Fatalf("experiment -j 1 exited %d: %s", code, errb.String())
+	}
+	if out1.String() != out.String() {
+		t.Fatal("-j 1 and -j 2 produced different stdout")
+	}
+}
+
+func TestOutputFileProbe(t *testing.T) {
+	var out, errb bytes.Buffer
+	// Unwritable path fails before any simulation.
+	if code := run([]string{"experiment", "verylarge", "-o", "/nonexistent-dir/x.md"}, &out, &errb); code != 1 {
+		t.Fatalf("unwritable -o exited %d, want 1", code)
+	}
+	// A failing pass must not leave behind an empty file it created.
+	outFile := filepath.Join(t.TempDir(), "new.md")
+	if code := run([]string{"experiment", "fig9", "-o", outFile}, &out, &errb); code != 1 {
+		t.Fatalf("unknown experiment exited %d, want 1", code)
+	}
+	if _, err := os.Stat(outFile); !os.IsNotExist(err) {
+		t.Fatalf("failed pass left %s behind (stat err: %v)", outFile, err)
+	}
+}
+
+func TestMarkdownDocument(t *testing.T) {
+	res := lpnuma.ExperimentResult{ID: "fig1", Text: "body\n"}
+	flags := experimentFlags{seed: 1, scale: 0.3, out: "OUT.md"}
+	// A single-experiment pass stamps its own reproduce command.
+	doc := markdown([]lpnuma.ExperimentResult{res}, "summary\n", flags, []string{"fig1"})
+	for _, want := range []string{"# EXPERIMENTS", "## fig1", "body", "## sweep reuse",
+		"summary", "experiment fig1 -seed 1 -scale 0.3 -o OUT.md", "deterministic"} {
+		if !strings.Contains(doc, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, doc)
+		}
+	}
+	// A full pass stamps the all subcommand.
+	doc = markdown([]lpnuma.ExperimentResult{res}, "summary\n", flags, lpnuma.Experiments())
+	if !strings.Contains(doc, "lpnuma all -seed 1 -scale 0.3 -o OUT.md") {
+		t.Fatalf("full pass should stamp `all`:\n%s", doc)
+	}
+}

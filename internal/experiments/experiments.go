@@ -1,8 +1,13 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation (§2.2, §3.1, §4): each experiment runs the required
-// (machine, workload, policy) matrix through the simulator and renders
-// the same rows and series the paper reports. The per-experiment index in
-// DESIGN.md maps each one to its paper counterpart.
+// evaluation (§2.2, §3.1, §4). Each experiment *declares* the
+// (machine, workload, policy) cells it needs; a shared runcache.Scheduler
+// deduplicates the union of all declared cells against its
+// content-addressed cache, executes each unique cell exactly once on a
+// bounded worker pool, and fans results back out, so regenerating the
+// whole evaluation builds one global run matrix instead of ten
+// independent ones. Rendering is a pure function of the resolved cells,
+// so output is identical for any worker count. The per-experiment index
+// in DESIGN.md maps each experiment to its paper counterpart.
 package experiments
 
 import (
@@ -11,6 +16,7 @@ import (
 	"strings"
 
 	"repro/internal/report"
+	"repro/internal/runcache"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/workloads"
@@ -43,6 +49,43 @@ type Result struct {
 	// Values indexes the numeric results for tests and EXPERIMENTS.md:
 	// keyed by "machine/workload/policy/metric".
 	Values map[string]float64
+	// Sweep reports how many cells the experiment declared and how many
+	// were answered from the shared cache instead of fresh simulations.
+	Sweep runcache.Stats
+}
+
+// definition is one declarative experiment: the cells it needs and a
+// pure rendering of the resolved matrix.
+type definition struct {
+	id string
+	// declare lists every simulation cell the experiment consumes.
+	declare func(cfg Config) []runner.Request
+	// render draws the experiment from the resolved cells, recording its
+	// headline numbers into values. It must not run simulations.
+	render func(cfg Config, res map[runner.Key]sim.Result, values map[string]float64) string
+}
+
+// cells builds the cross product of the given dimensions.
+func cells(cfg Config, machines, wl, policies []string) []runner.Request {
+	sc := cfg.simCfg()
+	var reqs []runner.Request
+	for _, m := range machines {
+		for _, w := range wl {
+			for _, p := range policies {
+				reqs = append(reqs, runner.Request{Machine: m, Workload: w, Policy: p, Seed: cfg.Seed, Cfg: sc})
+			}
+		}
+	}
+	return reqs
+}
+
+// index arranges batch results by their sweep key.
+func index(reqs []runner.Request, results []sim.Result) map[runner.Key]sim.Result {
+	out := make(map[runner.Key]sim.Result, len(results))
+	for i, r := range results {
+		out[runner.Key{Machine: reqs[i].Machine, Workload: reqs[i].Workload, Policy: reqs[i].Policy}] = r
+	}
+	return out
 }
 
 func names(specs []workloads.Spec) []string {
@@ -75,32 +118,6 @@ func improvementFigure(title string, machine string, wl []string, policies []str
 	return fig
 }
 
-// runMatrix sweeps machines × workloads × (policies + Linux4K baseline).
-func runMatrix(cfg Config, machines, wl, policies []string) (map[runner.Key]sim.Result, error) {
-	all := append([]string{"Linux4K"}, policies...)
-	return runner.Sweep(machines, wl, all, cfg.Seed, cfg.simCfg())
-}
-
-// figureExperiment regenerates one of the improvement figures.
-func figureExperiment(cfg Config, id, caption string, wl []string, policies []string) (Result, error) {
-	machines := []string{"A", "B"}
-	res, err := runMatrix(cfg, machines, wl, policies)
-	if err != nil {
-		return Result{}, err
-	}
-	values := map[string]float64{}
-	recordMetrics(res, values)
-	var b strings.Builder
-	for i, m := range machines {
-		panel := improvementFigure(
-			fmt.Sprintf("%s (%s) machine %s", caption, string('a'+rune(i)), m),
-			m, wl, policies, res, values)
-		b.WriteString(panel.Render())
-		b.WriteString("\n")
-	}
-	return Result{ID: id, Text: b.String(), Values: values}, nil
-}
-
 // recordMetrics indexes every run's headline metrics.
 func recordMetrics(res map[runner.Key]sim.Result, values map[string]float64) {
 	for k, r := range res {
@@ -117,40 +134,29 @@ func recordMetrics(res map[runner.Key]sim.Result, values map[string]float64) {
 	}
 }
 
-// Figure1 compares THP against default Linux on the full suite (§2.2).
-func Figure1(cfg Config) (Result, error) {
-	return figureExperiment(cfg, "fig1",
-		"Figure 1: THP performance improvement over Linux",
-		names(workloads.Suite()), []string{"THP"})
-}
-
-// Figure2 compares Carrefour-2M and THP on the reduced set (§3.1).
-func Figure2(cfg Config) (Result, error) {
-	return figureExperiment(cfg, "fig2",
-		"Figure 2: Carrefour-2M and THP over Linux (NUMA-affected apps)",
-		names(workloads.ReducedSet()), []string{"THP", "Carrefour2M"})
-}
-
-// Figure3 compares Carrefour-LP and THP on the reduced set (§4.1).
-func Figure3(cfg Config) (Result, error) {
-	return figureExperiment(cfg, "fig3",
-		"Figure 3: Carrefour-LP and THP over Linux (NUMA-affected apps)",
-		names(workloads.ReducedSet()), []string{"THP", "CarrefourLP"})
-}
-
-// Figure4 breaks Carrefour-LP into its components (§4.1).
-func Figure4(cfg Config) (Result, error) {
-	return figureExperiment(cfg, "fig4",
-		"Figure 4: Carrefour-2M, Conservative, Reactive and Carrefour-LP over Linux",
-		names(workloads.ReducedSet()),
-		[]string{"Carrefour2M", "Conservative", "Reactive", "CarrefourLP"})
-}
-
-// Figure5 shows the unaffected applications (§4.1).
-func Figure5(cfg Config) (Result, error) {
-	return figureExperiment(cfg, "fig5",
-		"Figure 5: THP and Carrefour-LP over Linux (apps whose NUMA metrics are unaffected by THP)",
-		names(workloads.UnaffectedSet()), []string{"THP", "CarrefourLP"})
+// figureDefinition declares one of the two-panel improvement figures:
+// both machines, the given benchmarks, the given policies plus the
+// Linux4K baseline.
+func figureDefinition(id, caption string, wl func() []string, policies []string) definition {
+	machines := []string{"A", "B"}
+	return definition{
+		id: id,
+		declare: func(cfg Config) []runner.Request {
+			return cells(cfg, machines, wl(), append([]string{"Linux4K"}, policies...))
+		},
+		render: func(cfg Config, res map[runner.Key]sim.Result, values map[string]float64) string {
+			recordMetrics(res, values)
+			var b strings.Builder
+			for i, m := range machines {
+				panel := improvementFigure(
+					fmt.Sprintf("%s (%s) machine %s", caption, string('a'+rune(i)), m),
+					m, wl(), policies, res, values)
+				b.WriteString(panel.Render())
+				b.WriteString("\n")
+			}
+			return b.String()
+		},
+	}
 }
 
 // table1Rows are the paper's Table 1 benchmark/machine pairs.
@@ -158,80 +164,77 @@ var table1Rows = []struct{ Workload, Machine string }{
 	{"CG.D", "B"}, {"UA.C", "B"}, {"WC", "B"}, {"SSCA.20", "A"}, {"SPECjbb", "A"},
 }
 
-// Table1 regenerates the detailed Linux-vs-THP analysis (§2.2).
-func Table1(cfg Config) (Result, error) {
-	var reqs []runner.Request
-	for _, row := range table1Rows {
-		for _, p := range []string{"Linux4K", "THP"} {
-			reqs = append(reqs, runner.Request{
-				Machine: row.Machine, Workload: row.Workload, Policy: p,
-				Seed: cfg.Seed, Cfg: cfg.simCfg(),
-			})
-		}
+// table1Definition declares the detailed Linux-vs-THP analysis (§2.2).
+func table1Definition() definition {
+	return definition{
+		id: "table1",
+		declare: func(cfg Config) []runner.Request {
+			var reqs []runner.Request
+			for _, row := range table1Rows {
+				reqs = append(reqs, cells(cfg, []string{row.Machine}, []string{row.Workload}, []string{"Linux4K", "THP"})...)
+			}
+			return reqs
+		},
+		render: func(cfg Config, byKey map[runner.Key]sim.Result, values map[string]float64) string {
+			recordMetrics(byKey, values)
+			t := report.Table{
+				Title: "Table 1: detailed analysis (Linux vs THP)",
+				Header: []string{"benchmark", "perf. incr THP/4K",
+					"fault time Linux", "fault time THP",
+					"%L2-PTW Linux", "%L2-PTW THP",
+					"LAR Linux", "LAR THP",
+					"imbalance Linux", "imbalance THP"},
+			}
+			for _, row := range table1Rows {
+				lin := byKey[runner.Key{Machine: row.Machine, Workload: row.Workload, Policy: "Linux4K"}]
+				thp := byKey[runner.Key{Machine: row.Machine, Workload: row.Workload, Policy: "THP"}]
+				impr := runner.ImprovementPct(lin, thp)
+				values[fmt.Sprintf("%s/%s/THP/improvement", row.Machine, row.Workload)] = impr
+				t.Rows = append(t.Rows, []string{
+					fmt.Sprintf("%s (%s)", row.Workload, row.Machine),
+					report.Signed(impr),
+					fmt.Sprintf("%s (%.1f%%)", report.Ms(lin.MaxCoreFaultSeconds), lin.MaxFaultSharePct),
+					fmt.Sprintf("%s (%.1f%%)", report.Ms(thp.MaxCoreFaultSeconds), thp.MaxFaultSharePct),
+					report.Num(lin.PTWSharePct), report.Num(thp.PTWSharePct),
+					report.Num(lin.LARPct), report.Num(thp.LARPct),
+					report.Num(lin.ImbalancePct), report.Num(thp.ImbalancePct),
+				})
+			}
+			return t.Render()
+		},
 	}
-	results, err := runner.RunAll(reqs)
-	if err != nil {
-		return Result{}, err
-	}
-	byKey := map[runner.Key]sim.Result{}
-	for i, r := range results {
-		byKey[runner.Key{Machine: reqs[i].Machine, Workload: reqs[i].Workload, Policy: reqs[i].Policy}] = r
-	}
-	values := map[string]float64{}
-	recordMetrics(byKey, values)
-	t := report.Table{
-		Title: "Table 1: detailed analysis (Linux vs THP)",
-		Header: []string{"benchmark", "perf. incr THP/4K",
-			"fault time Linux", "fault time THP",
-			"%L2-PTW Linux", "%L2-PTW THP",
-			"LAR Linux", "LAR THP",
-			"imbalance Linux", "imbalance THP"},
-	}
-	for _, row := range table1Rows {
-		lin := byKey[runner.Key{Machine: row.Machine, Workload: row.Workload, Policy: "Linux4K"}]
-		thp := byKey[runner.Key{Machine: row.Machine, Workload: row.Workload, Policy: "THP"}]
-		impr := runner.ImprovementPct(lin, thp)
-		values[fmt.Sprintf("%s/%s/THP/improvement", row.Machine, row.Workload)] = impr
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%s (%s)", row.Workload, row.Machine),
-			report.Signed(impr),
-			fmt.Sprintf("%s (%.1f%%)", report.Ms(lin.MaxCoreFaultSeconds), lin.MaxFaultSharePct),
-			fmt.Sprintf("%s (%.1f%%)", report.Ms(thp.MaxCoreFaultSeconds), thp.MaxFaultSharePct),
-			report.Num(lin.PTWSharePct), report.Num(thp.PTWSharePct),
-			report.Num(lin.LARPct), report.Num(thp.LARPct),
-			report.Num(lin.ImbalancePct), report.Num(thp.ImbalancePct),
-		})
-	}
-	return Result{ID: "table1", Text: t.Render(), Values: values}, nil
 }
 
-// Table2 regenerates the hot-page / false-sharing metrics on machine A
-// (§3.1): PAMUP, NHP, PSP, imbalance and LAR under Linux, THP and
-// Carrefour-2M for SPECjbb, CG.D and UA.B.
-func Table2(cfg Config) (Result, error) {
+// table2Definition declares the hot-page / false-sharing metrics on
+// machine A (§3.1): PAMUP, NHP, PSP, imbalance and LAR under Linux, THP
+// and Carrefour-2M for SPECjbb, CG.D and UA.B.
+func table2Definition() definition {
 	wl := []string{"SPECjbb", "CG.D", "UA.B"}
-	res, err := runner.Sweep([]string{"A"}, wl, []string{"Linux4K", "THP", "Carrefour2M"}, cfg.Seed, cfg.simCfg())
-	if err != nil {
-		return Result{}, err
+	return definition{
+		id: "table2",
+		declare: func(cfg Config) []runner.Request {
+			return cells(cfg, []string{"A"}, wl, []string{"Linux4K", "THP", "Carrefour2M"})
+		},
+		render: func(cfg Config, res map[runner.Key]sim.Result, values map[string]float64) string {
+			recordMetrics(res, values)
+			t := report.Table{
+				Title:  "Table 2: PAMUP / NHP / PSP / imbalance / LAR on machine A",
+				Header: []string{"benchmark", "metric", "Linux", "THP", "Carrefour-2M"},
+			}
+			for _, w := range wl {
+				get := func(p string) sim.Result { return res[runner.Key{Machine: "A", Workload: w, Policy: p}] }
+				lin, thp, car := get("Linux4K"), get("THP"), get("Carrefour2M")
+				t.Rows = append(t.Rows,
+					[]string{w, "PAMUP", report.Pct(lin.PageMetrics.PAMUPPct), report.Pct(thp.PageMetrics.PAMUPPct), report.Pct(car.PageMetrics.PAMUPPct)},
+					[]string{"", "NHP", fmt.Sprintf("%d", lin.PageMetrics.NHP), fmt.Sprintf("%d", thp.PageMetrics.NHP), fmt.Sprintf("%d", car.PageMetrics.NHP)},
+					[]string{"", "PSP", report.Pct(lin.PageMetrics.PSPPct), report.Pct(thp.PageMetrics.PSPPct), report.Pct(car.PageMetrics.PSPPct)},
+					[]string{"", "Imbalance", report.Pct(lin.ImbalancePct), report.Pct(thp.ImbalancePct), report.Pct(car.ImbalancePct)},
+					[]string{"", "LAR", report.Pct(lin.LARPct), report.Pct(thp.LARPct), report.Pct(car.LARPct)},
+				)
+			}
+			return t.Render()
+		},
 	}
-	values := map[string]float64{}
-	recordMetrics(res, values)
-	t := report.Table{
-		Title:  "Table 2: PAMUP / NHP / PSP / imbalance / LAR on machine A",
-		Header: []string{"benchmark", "metric", "Linux", "THP", "Carrefour-2M"},
-	}
-	for _, w := range wl {
-		get := func(p string) sim.Result { return res[runner.Key{Machine: "A", Workload: w, Policy: p}] }
-		lin, thp, car := get("Linux4K"), get("THP"), get("Carrefour2M")
-		t.Rows = append(t.Rows,
-			[]string{w, "PAMUP", report.Pct(lin.PageMetrics.PAMUPPct), report.Pct(thp.PageMetrics.PAMUPPct), report.Pct(car.PageMetrics.PAMUPPct)},
-			[]string{"", "NHP", fmt.Sprintf("%d", lin.PageMetrics.NHP), fmt.Sprintf("%d", thp.PageMetrics.NHP), fmt.Sprintf("%d", car.PageMetrics.NHP)},
-			[]string{"", "PSP", report.Pct(lin.PageMetrics.PSPPct), report.Pct(thp.PageMetrics.PSPPct), report.Pct(car.PageMetrics.PSPPct)},
-			[]string{"", "Imbalance", report.Pct(lin.ImbalancePct), report.Pct(thp.ImbalancePct), report.Pct(car.ImbalancePct)},
-			[]string{"", "LAR", report.Pct(lin.LARPct), report.Pct(thp.LARPct), report.Pct(car.LARPct)},
-		)
-	}
-	return Result{ID: "table2", Text: t.Render(), Values: values}, nil
 }
 
 // table3Rows are the paper's Table 3 benchmark/machine pairs.
@@ -239,165 +242,275 @@ var table3Rows = []struct{ Workload, Machine string }{
 	{"CG.D", "B"}, {"UA.B", "A"}, {"UA.C", "B"},
 }
 
-// Table3 regenerates the NUMA metrics across all four configurations
-// (§4.1).
-func Table3(cfg Config) (Result, error) {
+// table3Definition declares the NUMA metrics across all four
+// configurations (§4.1).
+func table3Definition() definition {
 	policies := []string{"Linux4K", "THP", "Carrefour2M", "CarrefourLP"}
-	var reqs []runner.Request
-	for _, row := range table3Rows {
-		for _, p := range policies {
-			reqs = append(reqs, runner.Request{Machine: row.Machine, Workload: row.Workload, Policy: p, Seed: cfg.Seed, Cfg: cfg.simCfg()})
-		}
+	return definition{
+		id: "table3",
+		declare: func(cfg Config) []runner.Request {
+			var reqs []runner.Request
+			for _, row := range table3Rows {
+				reqs = append(reqs, cells(cfg, []string{row.Machine}, []string{row.Workload}, policies)...)
+			}
+			return reqs
+		},
+		render: func(cfg Config, byKey map[runner.Key]sim.Result, values map[string]float64) string {
+			recordMetrics(byKey, values)
+			t := report.Table{
+				Title: "Table 3: LAR and imbalance under Linux, THP, Carrefour-2M, Carrefour-LP",
+				Header: []string{"benchmark",
+					"LAR Linux", "LAR THP", "LAR Carr2M", "LAR CarrLP",
+					"imb Linux", "imb THP", "imb Carr2M", "imb CarrLP"},
+			}
+			for _, row := range table3Rows {
+				get := func(p string) sim.Result {
+					return byKey[runner.Key{Machine: row.Machine, Workload: row.Workload, Policy: p}]
+				}
+				t.Rows = append(t.Rows, []string{
+					fmt.Sprintf("%s (%s)", row.Workload, row.Machine),
+					report.Num(get("Linux4K").LARPct), report.Num(get("THP").LARPct),
+					report.Num(get("Carrefour2M").LARPct), report.Num(get("CarrefourLP").LARPct),
+					report.Num(get("Linux4K").ImbalancePct), report.Num(get("THP").ImbalancePct),
+					report.Num(get("Carrefour2M").ImbalancePct), report.Num(get("CarrefourLP").ImbalancePct),
+				})
+			}
+			return t.Render()
+		},
 	}
-	results, err := runner.RunAll(reqs)
-	if err != nil {
-		return Result{}, err
-	}
-	byKey := map[runner.Key]sim.Result{}
-	for i, r := range results {
-		byKey[runner.Key{Machine: reqs[i].Machine, Workload: reqs[i].Workload, Policy: reqs[i].Policy}] = r
-	}
-	values := map[string]float64{}
-	recordMetrics(byKey, values)
-	t := report.Table{
-		Title: "Table 3: LAR and imbalance under Linux, THP, Carrefour-2M, Carrefour-LP",
-		Header: []string{"benchmark",
-			"LAR Linux", "LAR THP", "LAR Carr2M", "LAR CarrLP",
-			"imb Linux", "imb THP", "imb Carr2M", "imb CarrLP"},
-	}
-	for _, row := range table3Rows {
-		get := func(p string) sim.Result {
-			return byKey[runner.Key{Machine: row.Machine, Workload: row.Workload, Policy: p}]
-		}
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%s (%s)", row.Workload, row.Machine),
-			report.Num(get("Linux4K").LARPct), report.Num(get("THP").LARPct),
-			report.Num(get("Carrefour2M").LARPct), report.Num(get("CarrefourLP").LARPct),
-			report.Num(get("Linux4K").ImbalancePct), report.Num(get("THP").ImbalancePct),
-			report.Num(get("Carrefour2M").ImbalancePct), report.Num(get("CarrefourLP").ImbalancePct),
-		})
-	}
-	return Result{ID: "table3", Text: t.Render(), Values: values}, nil
 }
 
-// Overhead regenerates the §4.2 overhead assessment: Carrefour-LP versus
-// the reactive-only configuration, Carrefour-2M, and Linux with 4 KB
-// pages, over the full suite on both machines.
-func Overhead(cfg Config) (Result, error) {
-	wl := names(workloads.Suite())
-	res, err := runner.Sweep([]string{"A", "B"}, wl,
-		[]string{"Linux4K", "Carrefour2M", "Reactive", "CarrefourLP"}, cfg.Seed, cfg.simCfg())
-	if err != nil {
-		return Result{}, err
-	}
-	values := map[string]float64{}
-	recordMetrics(res, values)
-	t := report.Table{
-		Title: "Overhead of Carrefour-LP (§4.2): negative = Carrefour-LP slower",
-		Header: []string{"benchmark", "machine",
-			"vs Reactive", "vs Carrefour-2M", "vs Linux-4K"},
-	}
-	type agg struct {
-		sum, min float64
-		n        int
-	}
-	aggs := map[string]*agg{"Reactive": {min: 1e9}, "Carrefour2M": {min: 1e9}, "Linux4K": {min: 1e9}}
-	for _, m := range []string{"A", "B"} {
-		for _, w := range wl {
-			lp := res[runner.Key{Machine: m, Workload: w, Policy: "CarrefourLP"}]
-			row := []string{w, m}
-			for _, p := range []string{"Reactive", "Carrefour2M", "Linux4K"} {
-				base := res[runner.Key{Machine: m, Workload: w, Policy: p}]
-				d := runner.ImprovementPct(base, lp)
-				values[fmt.Sprintf("%s/%s/overhead-vs-%s", m, w, p)] = d
-				row = append(row, report.Signed(d))
-				a := aggs[p]
-				a.sum += d
-				a.n++
-				if d < a.min {
-					a.min = d
+// overheadDefinition declares the §4.2 overhead assessment: Carrefour-LP
+// versus the reactive-only configuration, Carrefour-2M, and Linux with
+// 4 KB pages, over the full suite on both machines.
+func overheadDefinition() definition {
+	machines := []string{"A", "B"}
+	return definition{
+		id: "overhead",
+		declare: func(cfg Config) []runner.Request {
+			return cells(cfg, machines, names(workloads.Suite()),
+				[]string{"Linux4K", "Carrefour2M", "Reactive", "CarrefourLP"})
+		},
+		render: func(cfg Config, res map[runner.Key]sim.Result, values map[string]float64) string {
+			wl := names(workloads.Suite())
+			recordMetrics(res, values)
+			t := report.Table{
+				Title: "Overhead of Carrefour-LP (§4.2): negative = Carrefour-LP slower",
+				Header: []string{"benchmark", "machine",
+					"vs Reactive", "vs Carrefour-2M", "vs Linux-4K"},
+			}
+			type agg struct {
+				sum, min float64
+				n        int
+			}
+			aggs := map[string]*agg{"Reactive": {min: 1e9}, "Carrefour2M": {min: 1e9}, "Linux4K": {min: 1e9}}
+			for _, m := range machines {
+				for _, w := range wl {
+					lp := res[runner.Key{Machine: m, Workload: w, Policy: "CarrefourLP"}]
+					row := []string{w, m}
+					for _, p := range []string{"Reactive", "Carrefour2M", "Linux4K"} {
+						base := res[runner.Key{Machine: m, Workload: w, Policy: p}]
+						d := runner.ImprovementPct(base, lp)
+						values[fmt.Sprintf("%s/%s/overhead-vs-%s", m, w, p)] = d
+						row = append(row, report.Signed(d))
+						a := aggs[p]
+						a.sum += d
+						a.n++
+						if d < a.min {
+							a.min = d
+						}
+					}
+					t.Rows = append(t.Rows, row)
 				}
 			}
-			t.Rows = append(t.Rows, row)
-		}
+			var b strings.Builder
+			b.WriteString(t.Render())
+			keys := make([]string, 0, len(aggs))
+			for p := range aggs {
+				keys = append(keys, p)
+			}
+			sort.Strings(keys)
+			for _, p := range keys {
+				a := aggs[p]
+				fmt.Fprintf(&b, "  summary vs %s: mean %+.1f%%, worst %+.1f%%\n", p, a.sum/float64(a.n), a.min)
+				values["summary/overhead-mean-vs-"+p] = a.sum / float64(a.n)
+				values["summary/overhead-worst-vs-"+p] = a.min
+			}
+			return b.String()
+		},
 	}
-	var b strings.Builder
-	b.WriteString(t.Render())
-	keys := make([]string, 0, len(aggs))
-	for p := range aggs {
-		keys = append(keys, p)
-	}
-	sort.Strings(keys)
-	for _, p := range keys {
-		a := aggs[p]
-		fmt.Fprintf(&b, "  summary vs %s: mean %+.1f%%, worst %+.1f%%\n", p, a.sum/float64(a.n), a.min)
-		values["summary/overhead-mean-vs-"+p] = a.sum / float64(a.n)
-		values["summary/overhead-worst-vs-"+p] = a.min
-	}
-	return Result{ID: "overhead", Text: b.String(), Values: values}, nil
 }
 
-// VeryLarge regenerates §4.4: 1 GB pages on SSCA and streamcluster. The
-// paper reports SSCA degrading by 34% and streamcluster by ~4× versus
-// their 2 MB configurations, from hot small pages coalescing onto one
-// node.
-func VeryLarge(cfg Config) (Result, error) {
+// veryLargeDefinition declares §4.4: 1 GB pages on SSCA and
+// streamcluster. The paper reports SSCA degrading by 34% and
+// streamcluster by ~4× versus their 2 MB configurations, from hot small
+// pages coalescing onto one node.
+func veryLargeDefinition() definition {
 	wl := []string{"SSCA.20", "streamcluster"}
-	res, err := runner.Sweep([]string{"A"}, wl, []string{"THP", "HugeTLB1G"}, cfg.Seed, cfg.simCfg())
+	return definition{
+		id: "verylarge",
+		declare: func(cfg Config) []runner.Request {
+			return cells(cfg, []string{"A"}, wl, []string{"THP", "HugeTLB1G"})
+		},
+		render: func(cfg Config, res map[runner.Key]sim.Result, values map[string]float64) string {
+			recordMetrics(res, values)
+			t := report.Table{
+				Title:  "Very large (1 GB) pages on machine A (§4.4)",
+				Header: []string{"benchmark", "2M runtime", "1G runtime", "slowdown", "1G imbalance"},
+			}
+			for _, w := range wl {
+				thp := res[runner.Key{Machine: "A", Workload: w, Policy: "THP"}]
+				gig := res[runner.Key{Machine: "A", Workload: w, Policy: "HugeTLB1G"}]
+				slow := gig.RuntimeSeconds / thp.RuntimeSeconds
+				values[fmt.Sprintf("A/%s/1g-slowdown", w)] = slow
+				t.Rows = append(t.Rows, []string{
+					w,
+					fmt.Sprintf("%.2fs", thp.RuntimeSeconds),
+					fmt.Sprintf("%.2fs", gig.RuntimeSeconds),
+					fmt.Sprintf("%.2fx", slow),
+					report.Pct(gig.ImbalancePct),
+				})
+			}
+			return t.Render()
+		},
+	}
+}
+
+// definitions lists every experiment in regeneration order.
+func definitions() []definition {
+	return []definition{
+		figureDefinition("fig1", "Figure 1: THP performance improvement over Linux",
+			func() []string { return names(workloads.Suite()) }, []string{"THP"}),
+		figureDefinition("fig2", "Figure 2: Carrefour-2M and THP over Linux (NUMA-affected apps)",
+			func() []string { return names(workloads.ReducedSet()) }, []string{"THP", "Carrefour2M"}),
+		figureDefinition("fig3", "Figure 3: Carrefour-LP and THP over Linux (NUMA-affected apps)",
+			func() []string { return names(workloads.ReducedSet()) }, []string{"THP", "CarrefourLP"}),
+		figureDefinition("fig4", "Figure 4: Carrefour-2M, Conservative, Reactive and Carrefour-LP over Linux",
+			func() []string { return names(workloads.ReducedSet()) },
+			[]string{"Carrefour2M", "Conservative", "Reactive", "CarrefourLP"}),
+		figureDefinition("fig5", "Figure 5: THP and Carrefour-LP over Linux (apps whose NUMA metrics are unaffected by THP)",
+			func() []string { return names(workloads.UnaffectedSet()) }, []string{"THP", "CarrefourLP"}),
+		table1Definition(),
+		table2Definition(),
+		table3Definition(),
+		overheadDefinition(),
+		veryLargeDefinition(),
+	}
+}
+
+// byIDMap indexes the definitions.
+func byIDMap() map[string]definition {
+	defs := definitions()
+	m := make(map[string]definition, len(defs))
+	for _, d := range defs {
+		m[d.id] = d
+	}
+	return m
+}
+
+// runDefinition resolves a definition's cells through the scheduler and
+// renders it.
+func runDefinition(def definition, cfg Config, sched *runcache.Scheduler) (Result, error) {
+	reqs := def.declare(cfg)
+	results, stats, err := sched.Results(reqs)
 	if err != nil {
-		return Result{}, err
+		return Result{}, fmt.Errorf("experiment %s: %w", def.id, err)
 	}
 	values := map[string]float64{}
-	recordMetrics(res, values)
-	t := report.Table{
-		Title:  "Very large (1 GB) pages on machine A (§4.4)",
-		Header: []string{"benchmark", "2M runtime", "1G runtime", "slowdown", "1G imbalance"},
-	}
-	for _, w := range wl {
-		thp := res[runner.Key{Machine: "A", Workload: w, Policy: "THP"}]
-		gig := res[runner.Key{Machine: "A", Workload: w, Policy: "HugeTLB1G"}]
-		slow := gig.RuntimeSeconds / thp.RuntimeSeconds
-		values[fmt.Sprintf("A/%s/1g-slowdown", w)] = slow
-		t.Rows = append(t.Rows, []string{
-			w,
-			fmt.Sprintf("%.2fs", thp.RuntimeSeconds),
-			fmt.Sprintf("%.2fs", gig.RuntimeSeconds),
-			fmt.Sprintf("%.2fx", slow),
-			report.Pct(gig.ImbalancePct),
-		})
-	}
-	return Result{ID: "verylarge", Text: t.Render(), Values: values}, nil
+	text := def.render(cfg, index(reqs, results), values)
+	return Result{ID: def.id, Text: text, Values: values, Sweep: stats}, nil
 }
 
-// ByID runs one experiment by identifier.
+// Declare lists the cells an experiment would run, without running
+// them, so callers can inspect or pre-plan an experiment's matrix (the
+// tests use it to check declarations are complete).
+func Declare(id string, cfg Config) ([]runner.Request, error) {
+	def, ok := byIDMap()[id]
+	if !ok {
+		return nil, unknownErr(id)
+	}
+	return def.declare(cfg), nil
+}
+
+// ByIDWith regenerates one experiment through a shared scheduler, so
+// cells already computed for earlier experiments are reused instead of
+// re-simulated.
+func ByIDWith(sched *runcache.Scheduler, id string, cfg Config) (Result, error) {
+	def, ok := byIDMap()[id]
+	if !ok {
+		return Result{}, unknownErr(id)
+	}
+	return runDefinition(def, cfg, sched)
+}
+
+// ByID runs one experiment by identifier on a private scheduler sized to
+// the host.
 func ByID(id string, cfg Config) (Result, error) {
-	switch id {
-	case "fig1":
-		return Figure1(cfg)
-	case "fig2":
-		return Figure2(cfg)
-	case "fig3":
-		return Figure3(cfg)
-	case "fig4":
-		return Figure4(cfg)
-	case "fig5":
-		return Figure5(cfg)
-	case "table1":
-		return Table1(cfg)
-	case "table2":
-		return Table2(cfg)
-	case "table3":
-		return Table3(cfg)
-	case "overhead":
-		return Overhead(cfg)
-	case "verylarge":
-		return VeryLarge(cfg)
-	default:
-		return Result{}, fmt.Errorf("experiments: unknown experiment %q (want %s)", id, strings.Join(IDs(), ", "))
-	}
+	return ByIDWith(runcache.New(0), id, cfg)
 }
 
-// IDs lists the available experiments.
-func IDs() []string {
-	return []string{"fig1", "fig2", "fig3", "fig4", "fig5", "table1", "table2", "table3", "overhead", "verylarge"}
+// All regenerates every experiment in order through one shared
+// scheduler: the union of all declared cells is deduplicated, each
+// unique cell is simulated once, and every experiment renders from the
+// shared matrix.
+func All(sched *runcache.Scheduler, cfg Config) ([]Result, error) {
+	if sched == nil {
+		sched = runcache.New(0)
+	}
+	defs := definitions()
+	out := make([]Result, 0, len(defs))
+	for _, def := range defs {
+		res, err := runDefinition(def, cfg, sched)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
 }
+
+func unknownErr(id string) error {
+	return fmt.Errorf("experiments: unknown experiment %q (want %s)", id, strings.Join(IDs(), ", "))
+}
+
+// IDs lists the available experiments in regeneration order.
+func IDs() []string {
+	defs := definitions()
+	ids := make([]string, len(defs))
+	for i, d := range defs {
+		ids[i] = d.id
+	}
+	return ids
+}
+
+// Figure1 compares THP against default Linux on the full suite (§2.2).
+func Figure1(cfg Config) (Result, error) { return ByID("fig1", cfg) }
+
+// Figure2 compares Carrefour-2M and THP on the reduced set (§3.1).
+func Figure2(cfg Config) (Result, error) { return ByID("fig2", cfg) }
+
+// Figure3 compares Carrefour-LP and THP on the reduced set (§4.1).
+func Figure3(cfg Config) (Result, error) { return ByID("fig3", cfg) }
+
+// Figure4 breaks Carrefour-LP into its components (§4.1).
+func Figure4(cfg Config) (Result, error) { return ByID("fig4", cfg) }
+
+// Figure5 shows the unaffected applications (§4.1).
+func Figure5(cfg Config) (Result, error) { return ByID("fig5", cfg) }
+
+// Table1 regenerates the detailed Linux-vs-THP analysis (§2.2).
+func Table1(cfg Config) (Result, error) { return ByID("table1", cfg) }
+
+// Table2 regenerates the hot-page / false-sharing metrics on machine A
+// (§3.1).
+func Table2(cfg Config) (Result, error) { return ByID("table2", cfg) }
+
+// Table3 regenerates the NUMA metrics across all four configurations
+// (§4.1).
+func Table3(cfg Config) (Result, error) { return ByID("table3", cfg) }
+
+// Overhead regenerates the §4.2 overhead assessment.
+func Overhead(cfg Config) (Result, error) { return ByID("overhead", cfg) }
+
+// VeryLarge regenerates §4.4: 1 GB pages on SSCA and streamcluster.
+func VeryLarge(cfg Config) (Result, error) { return ByID("verylarge", cfg) }

@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/runcache"
 )
 
 // quick is a fast configuration for experiment-shape tests.
@@ -80,5 +82,121 @@ func TestTable2Shape(t *testing.T) {
 	if res.Values["A/UA.B/THP/psp"] < res.Values["A/UA.B/Linux4K/psp"]+20 {
 		t.Fatalf("UA.B PSP: Linux %v THP %v, want a large jump",
 			res.Values["A/UA.B/Linux4K/psp"], res.Values["A/UA.B/THP/psp"])
+	}
+}
+
+// TestDeclareMatchesRun asserts declarations are complete: an experiment
+// rendered from only its declared cells must not hit a zero-value result.
+func TestDeclareMatchesRun(t *testing.T) {
+	for _, id := range IDs() {
+		reqs, err := Declare(id, quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reqs) == 0 {
+			t.Fatalf("%s declares no cells", id)
+		}
+		for _, r := range reqs {
+			if r.Machine == "" || r.Workload == "" || r.Policy == "" {
+				t.Fatalf("%s declares an incomplete cell: %+v", id, r)
+			}
+		}
+	}
+}
+
+// TestSharedSchedulerReusesCells asserts the cross-experiment dedup the
+// shared scheduler exists for: fig3's cells overlap fig2's (same
+// machines, same reduced set, shared Linux4K and THP columns), so run
+// through one scheduler the second experiment must report cache hits and
+// trigger strictly fewer fresh simulations than it declares.
+func TestSharedSchedulerReusesCells(t *testing.T) {
+	sched := runcache.New(0)
+	fig2, err := ByIDWith(sched, "fig2", quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig2.Sweep.Hits != 0 || fig2.Sweep.Runs != fig2.Sweep.Unique {
+		t.Fatalf("first experiment should be all fresh runs: %+v", fig2.Sweep)
+	}
+	fig3, err := ByIDWith(sched, "fig3", quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig3.Sweep.Hits == 0 {
+		t.Fatalf("fig3 after fig2 should hit the cache: %+v", fig3.Sweep)
+	}
+	if fig3.Sweep.Runs >= fig3.Sweep.Unique {
+		t.Fatalf("fig3 should run fewer cells than it declares: %+v", fig3.Sweep)
+	}
+	// Re-running fig2 must simulate nothing at all.
+	again, err := ByIDWith(sched, "fig2", quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Sweep.Runs != 0 {
+		t.Fatalf("re-run should be 100%% cached: %+v", again.Sweep)
+	}
+	if again.Text != fig2.Text {
+		t.Fatal("cached re-run rendered different text")
+	}
+}
+
+// TestOutputIdenticalAcrossWorkerCounts asserts the acceptance
+// criterion: experiment output is byte-identical for any -j.
+func TestOutputIdenticalAcrossWorkerCounts(t *testing.T) {
+	ids := []string{"fig5", "table2", "verylarge"}
+	render := func(workers int) string {
+		sched := runcache.New(workers)
+		var b strings.Builder
+		for _, id := range ids {
+			res, err := ByIDWith(sched, id, quick)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.WriteString(res.Text)
+		}
+		return b.String()
+	}
+	if j1, j8 := render(1), render(8); j1 != j8 {
+		t.Fatal("-j 1 and -j 8 rendered different output")
+	}
+}
+
+// TestAllSharesOneMatrix asserts the full pass deduplicates across
+// experiments: the total fresh simulations must be well below the total
+// declared cells, and every experiment after the first figure sees hits.
+func TestAllSharesOneMatrix(t *testing.T) {
+	sched := runcache.New(0)
+	results, err := All(sched, quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(IDs()) {
+		t.Fatalf("results = %d, want %d", len(results), len(IDs()))
+	}
+	tot := sched.Totals()
+	if tot.Runs != sched.CachedCells() {
+		t.Fatalf("runs %d != cached cells %d", tot.Runs, sched.CachedCells())
+	}
+	if tot.Runs >= tot.Requested/2 {
+		t.Fatalf("expected >2x cross-experiment reuse: %d runs for %d declared cells", tot.Runs, tot.Requested)
+	}
+	var hits int
+	for _, res := range results {
+		hits += res.Sweep.Hits
+	}
+	if hits == 0 {
+		t.Fatal("no experiment reported cache hits")
+	}
+	// ByID must agree with the shared-scheduler pass (same cells, same
+	// deterministic engine), so sharing cannot change any experiment.
+	solo, err := ByID("table3", quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range results {
+		if res.ID == "table3" && res.Text != solo.Text {
+			t.Fatal("shared-scheduler table3 differs from standalone run")
+		}
 	}
 }

@@ -129,6 +129,48 @@ func (t Table) Render() string {
 	return b.String()
 }
 
+// ReuseRow summarizes one experiment's share of the shared run matrix:
+// how many simulation cells it declared, how many distinct cells that
+// was, how many were answered from the cross-experiment cache, and how
+// many fresh simulations it triggered.
+type ReuseRow struct {
+	ID                             string
+	Cells, Unique, CacheHits, Runs int
+}
+
+// ReuseSummary renders the cache-hit/run accounting for a shared sweep:
+// one row per experiment plus a totals row. simulated is the number of
+// unique cells actually executed across the whole pass (the size of the
+// global matrix).
+func ReuseSummary(rows []ReuseRow, simulated int) string {
+	t := Table{
+		Title:  "Sweep reuse: declared cells vs simulations run",
+		Header: []string{"experiment", "cells", "unique", "cache hits", "runs"},
+	}
+	var cells, unique, hits, runs int
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.ID,
+			fmt.Sprintf("%d", r.Cells), fmt.Sprintf("%d", r.Unique),
+			fmt.Sprintf("%d", r.CacheHits), fmt.Sprintf("%d", r.Runs),
+		})
+		cells += r.Cells
+		unique += r.Unique
+		hits += r.CacheHits
+		runs += r.Runs
+	}
+	t.Rows = append(t.Rows, []string{"total",
+		fmt.Sprintf("%d", cells), fmt.Sprintf("%d", unique),
+		fmt.Sprintf("%d", hits), fmt.Sprintf("%d", runs)})
+	var b strings.Builder
+	b.WriteString(t.Render())
+	if cells > 0 {
+		fmt.Fprintf(&b, "  %d declared cells collapsed into %d simulations (%.1f%% reuse)\n",
+			cells, simulated, 100*(1-float64(simulated)/float64(cells)))
+	}
+	return b.String()
+}
+
 // Pct formats a percentage cell.
 func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
 

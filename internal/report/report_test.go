@@ -56,6 +56,28 @@ func TestTableRenderAligned(t *testing.T) {
 	}
 }
 
+func TestReuseSummary(t *testing.T) {
+	out := ReuseSummary([]ReuseRow{
+		{ID: "fig1", Cells: 80, Unique: 80, CacheHits: 0, Runs: 80},
+		{ID: "fig2", Cells: 42, Unique: 42, CacheHits: 28, Runs: 14},
+	}, 94)
+	for _, want := range []string{"fig1", "fig2", "total", "122", "94", "cache hits"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+	// 122 cells → 94 simulations is 23.0% reuse.
+	if !strings.Contains(out, "23.0% reuse") {
+		t.Fatalf("reuse percentage missing:\n%s", out)
+	}
+}
+
+func TestReuseSummaryEmpty(t *testing.T) {
+	if out := ReuseSummary(nil, 0); !strings.Contains(out, "total") {
+		t.Fatalf("empty summary should still render totals:\n%s", out)
+	}
+}
+
 func TestFormatters(t *testing.T) {
 	if Pct(12.34) != "12.3%" {
 		t.Fatal(Pct(12.34))

@@ -1,0 +1,249 @@
+// Package runcache is the shared concurrent sweep engine behind the
+// experiments layer: a Scheduler accepts the union of every simulation
+// cell the experiments declare, deduplicates identical
+// (machine, workload, policy, seed, config) cells against a
+// content-addressed result cache, executes each unique cell exactly once
+// on a bounded worker pool, and fans the results back out to every
+// caller that asked. Because each simulation is deterministic and cells
+// are identified by content (not by which experiment requested them
+// first), scheduler output is identical for any worker count.
+package runcache
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+// Key is the content address of one simulation cell. Two requests with
+// equal Keys are guaranteed (by engine determinism) to produce identical
+// results, so the scheduler runs them once.
+type Key struct {
+	Machine, Workload, Policy string
+	// Seed is the effective engine seed after the runner's override rule
+	// (Request.Seed when non-zero, else the config's own seed).
+	Seed uint64
+	// CfgHash fingerprints every remaining engine-configuration field.
+	CfgHash uint64
+}
+
+// String renders the key for progress lines and error messages.
+func (k Key) String() string {
+	return fmt.Sprintf("%s/%s/%s", k.Machine, k.Workload, k.Policy)
+}
+
+// KeyOf computes the content address of a request, normalizing the
+// machine name and the seed-override rule applied by runner.Run so that
+// requests that would run identical simulations map to the same Key.
+func KeyOf(req runner.Request) Key {
+	cfg := sim.DefaultConfig()
+	if req.Cfg != nil {
+		cfg = *req.Cfg
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = cfg.Seed
+	}
+	cfg.Seed = 0 // superseded by the effective seed above
+	return Key{
+		Machine:  strings.ToUpper(req.Machine),
+		Workload: req.Workload,
+		Policy:   req.Policy,
+		Seed:     seed,
+		CfgHash:  hashConfig(cfg),
+	}
+}
+
+// hashConfig fingerprints an engine configuration field by field (FNV-1a
+// over an explicit serialization, so the hash is stable across processes
+// and Go versions, unlike hashing the in-memory representation).
+func hashConfig(cfg sim.Config) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%g|%d|%g|%d|%g|%g|%d|%g|%g|%g|%d",
+		cfg.EpochSeconds, cfg.SteadySamples, cfg.AllocRoundCycles,
+		cfg.MaxAllocPerEpoch, cfg.MaxSimSeconds, cfg.WorkScale, cfg.Seed,
+		cfg.IBS.Rate, cfg.IBS.RecordRate, cfg.IBS.CyclesPerSample,
+		cfg.IBS.MaxPerNode)
+	return h.Sum64()
+}
+
+// Stats describes one Results batch from the caller's point of view.
+type Stats struct {
+	// Requested is the number of cells the batch asked for, duplicates
+	// included.
+	Requested int
+	// Unique is the number of distinct cells in the batch.
+	Unique int
+	// Hits is the number of distinct cells already resident in the cache
+	// from earlier batches (cross-experiment reuse).
+	Hits int
+	// Runs is the number of cells this batch actually executed.
+	Runs int
+}
+
+// Deduped is the number of requests answered without a fresh simulation:
+// intra-batch duplicates plus cache hits.
+func (s Stats) Deduped() int { return s.Requested - s.Runs }
+
+// Add accumulates batch statistics.
+func (s *Stats) Add(o Stats) {
+	s.Requested += o.Requested
+	s.Unique += o.Unique
+	s.Hits += o.Hits
+	s.Runs += o.Runs
+}
+
+// cell is one cached (or in-flight) simulation.
+type cell struct {
+	done chan struct{} // closed when res/err are valid
+	res  sim.Result
+	err  error
+}
+
+// Scheduler deduplicates and executes simulation cells on a bounded
+// worker pool, caching every result for the lifetime of the scheduler.
+// A zero-value Scheduler is not usable; call New.
+type Scheduler struct {
+	workers int
+	sem     chan struct{} // scheduler-wide worker-pool slots
+	// Progress, when non-nil, is called after each executed (not cached)
+	// cell completes, with the number of cells finished so far in the
+	// current batch and the batch's total. Calls are serialized (under a
+	// dedicated lock, so callbacks must not call back into the
+	// scheduler's batch being reported) but their order across cells
+	// follows completion order, which depends on the worker count —
+	// route Progress output to logs, never into results.
+	Progress func(done, total int, key Key)
+
+	run func(runner.Request) (sim.Result, error) // runner.Run, replaceable in tests
+
+	mu         sync.Mutex
+	cells      map[Key]*cell
+	totals     Stats
+	progressMu sync.Mutex
+}
+
+// New builds a scheduler executing at most workers simulations
+// concurrently — a scheduler-wide bound that holds even across
+// concurrent Results batches; workers <= 0 selects runtime.NumCPU().
+func New(workers int) *Scheduler {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Scheduler{
+		workers: workers,
+		sem:     make(chan struct{}, workers),
+		run:     runner.Run,
+		cells:   map[Key]*cell{},
+	}
+}
+
+// Workers reports the worker-pool bound.
+func (s *Scheduler) Workers() int { return s.workers }
+
+// Totals reports lifetime statistics accumulated over every Results
+// batch.
+func (s *Scheduler) Totals() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totals
+}
+
+// CachedCells reports how many unique cells the cache holds (complete or
+// in flight).
+func (s *Scheduler) CachedCells() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cells)
+}
+
+// Results resolves every request, in request order: cells already cached
+// are answered immediately, identical requests within the batch collapse
+// to one execution, and the remaining unique cells run concurrently on
+// the worker pool. The first error in request order aborts the batch
+// (already-computed cells stay cached). Results are deterministic for
+// any worker count.
+func (s *Scheduler) Results(reqs []runner.Request) ([]sim.Result, Stats, error) {
+	keys := make([]Key, len(reqs))
+	var fresh []Key // cells this batch must execute, in request order
+	var stats Stats
+	stats.Requested = len(reqs)
+
+	s.mu.Lock()
+	seen := make(map[Key]bool, len(reqs))
+	for i, req := range reqs {
+		k := KeyOf(req)
+		keys[i] = k
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		stats.Unique++
+		if _, ok := s.cells[k]; ok {
+			stats.Hits++
+			continue
+		}
+		s.cells[k] = &cell{done: make(chan struct{})}
+		fresh = append(fresh, k)
+	}
+	stats.Runs = len(fresh)
+	s.totals.Add(stats)
+	s.mu.Unlock()
+
+	// Execute the batch's fresh cells on the bounded pool. reqByKey maps
+	// each fresh key to the first request that named it (all requests
+	// with the same key are interchangeable by construction).
+	reqByKey := make(map[Key]runner.Request, len(fresh))
+	for i, req := range reqs {
+		if _, ok := reqByKey[keys[i]]; !ok {
+			reqByKey[keys[i]] = req
+		}
+	}
+	if len(fresh) > 0 {
+		var wg sync.WaitGroup
+		var doneCount int
+		for _, k := range fresh {
+			wg.Add(1)
+			go func(k Key) {
+				defer wg.Done()
+				s.sem <- struct{}{} // scheduler-wide slot, shared across batches
+				res, err := s.run(reqByKey[k])
+				<-s.sem
+				s.mu.Lock()
+				c := s.cells[k]
+				c.res, c.err = res, err
+				doneCount++
+				n := doneCount
+				progress := s.Progress
+				s.mu.Unlock()
+				close(c.done)
+				if progress != nil {
+					s.progressMu.Lock()
+					progress(n, len(fresh), k)
+					s.progressMu.Unlock()
+				}
+			}(k)
+		}
+		wg.Wait()
+	}
+
+	// Fan results back out in request order; this also waits for cells
+	// another concurrent batch is still executing.
+	out := make([]sim.Result, len(reqs))
+	for i, k := range keys {
+		s.mu.Lock()
+		c := s.cells[k]
+		s.mu.Unlock()
+		<-c.done
+		if c.err != nil {
+			return nil, stats, fmt.Errorf("runcache: cell %s: %w", k, c.err)
+		}
+		out[i] = c.res
+	}
+	return out, stats, nil
+}

@@ -23,6 +23,7 @@ package lpnuma
 import (
 	"repro/internal/experiments"
 	"repro/internal/policy"
+	"repro/internal/runcache"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/topo"
@@ -82,9 +83,39 @@ func Experiments() []string { return experiments.IDs() }
 // ExperimentConfig parameterizes a regeneration pass.
 type ExperimentConfig = experiments.Config
 
+// ExperimentResult is one regenerated experiment; see experiments.Result.
+type ExperimentResult = experiments.Result
+
 // RunExperiment regenerates one of the paper's tables or figures by id
 // ("fig1".."fig5", "table1".."table3", "overhead", "verylarge") and
 // returns its rendered text plus the indexed numeric values.
-func RunExperiment(id string, cfg ExperimentConfig) (experiments.Result, error) {
+func RunExperiment(id string, cfg ExperimentConfig) (ExperimentResult, error) {
 	return experiments.ByID(id, cfg)
+}
+
+// Scheduler is the shared concurrent sweep engine: it deduplicates
+// identical (machine, workload, policy, seed, config) cells against a
+// content-addressed cache and executes each unique cell once on a
+// bounded worker pool. See runcache.Scheduler.
+type Scheduler = runcache.Scheduler
+
+// SweepStats describes one batch's cache behaviour; see runcache.Stats.
+type SweepStats = runcache.Stats
+
+// NewScheduler builds a sweep scheduler running at most workers
+// simulations concurrently (workers <= 0 selects the host's CPU count).
+func NewScheduler(workers int) *Scheduler { return runcache.New(workers) }
+
+// RunExperimentWith regenerates one experiment through a shared
+// scheduler, reusing any cells earlier experiments already simulated.
+func RunExperimentWith(s *Scheduler, id string, cfg ExperimentConfig) (ExperimentResult, error) {
+	return experiments.ByIDWith(s, id, cfg)
+}
+
+// RunAllExperiments regenerates every experiment through one shared
+// scheduler (a fresh host-sized one when s is nil): the union of all
+// declared cells runs exactly once, and each result reports its
+// cache-hit/run counts.
+func RunAllExperiments(s *Scheduler, cfg ExperimentConfig) ([]ExperimentResult, error) {
+	return experiments.All(s, cfg)
 }
