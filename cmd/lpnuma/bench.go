@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/runcache"
+	"repro/lpnuma"
+)
+
+// benchReport is the machine-readable result of `lpnuma bench`, written
+// as JSON so successive PRs accumulate a perf trajectory
+// (BENCH_lpnuma.json in CI artifacts, or checked diffs locally).
+type benchReport struct {
+	Bench       string  `json:"bench"`
+	Scale       float64 `json:"scale"`
+	Seed        uint64  `json:"seed"`
+	Jobs        int     `json:"jobs"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	NumCPU      int     `json:"num_cpu"`
+	GoVersion   string  `json:"go_version"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// Cells is the number of requested simulation cells, Runs the number
+	// actually executed after dedup — the pass's real unit of work.
+	Cells int `json:"cells"`
+	Runs  int `json:"runs"`
+	// CellsPerSecond is Runs/WallSeconds, the headline throughput number.
+	CellsPerSecond float64           `json:"cells_per_second"`
+	Experiments    []benchExperiment `json:"experiments"`
+}
+
+// benchExperiment is one experiment's share of the pass.
+type benchExperiment struct {
+	ID          string  `json:"id"`
+	Cells       int     `json:"cells"`
+	Runs        int     `json:"runs"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// runBench executes the full experiment sweep as a timed benchmark and
+// writes a JSON report. It is the CI perf smoke: a fixed workload whose
+// wall clock is comparable across commits on the same runner.
+func runBench(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	scale := fs.Float64("scale", 0.1, "work scale of the benchmark pass")
+	jobs := fs.Int("j", 0, "concurrent simulations (0 = host CPU count)")
+	out := fs.String("o", "BENCH_lpnuma.json", "output JSON path (- for stdout)")
+	if err := parseFlags(fs, args, stderr); err != nil {
+		return err
+	}
+	if len(fs.Args()) > 0 {
+		fmt.Fprintf(stderr, "unexpected arguments\n")
+		return errFlagParse
+	}
+
+	cfg := lpnuma.ExperimentConfig{Seed: *seed, WorkScale: *scale}
+	sched := lpnuma.NewScheduler(*jobs)
+	rep := benchReport{
+		Bench:      "lpnuma-all",
+		Scale:      *scale,
+		Seed:       *seed,
+		Jobs:       sched.Workers(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+	}
+	start := time.Now()
+	var total runcache.Stats
+	for _, id := range lpnuma.Experiments() {
+		expStart := time.Now()
+		res, err := lpnuma.RunExperimentWith(sched, id, cfg)
+		if err != nil {
+			return err
+		}
+		wall := time.Since(expStart).Seconds()
+		rep.Experiments = append(rep.Experiments, benchExperiment{
+			ID: id, Cells: res.Sweep.Requested, Runs: res.Sweep.Runs, WallSeconds: wall,
+		})
+		total.Add(res.Sweep)
+		fmt.Fprintf(stderr, "bench %s: %d cells (%d simulated) in %.3fs\n",
+			id, res.Sweep.Requested, res.Sweep.Runs, wall)
+	}
+	rep.WallSeconds = time.Since(start).Seconds()
+	rep.Cells = total.Requested
+	rep.Runs = sched.Totals().Runs
+	if rep.WallSeconds > 0 {
+		rep.CellsPerSecond = float64(rep.Runs) / rep.WallSeconds
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		_, err = stdout.Write(enc)
+		return err
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "bench complete: %d simulations on %d workers in %.3fs (%.2f cells/s); wrote %s\n",
+		rep.Runs, sched.Workers(), rep.WallSeconds, rep.CellsPerSecond, *out)
+	return nil
+}

@@ -7,6 +7,7 @@
 //	lpnuma run -m A -w CG.D -p THP      # one simulation, metrics to stdout
 //	lpnuma experiment fig1 [-scale 0.3] # regenerate a figure or table
 //	lpnuma all [-scale 0.3] [-j 8]      # regenerate everything (EXPERIMENTS.md source)
+//	lpnuma bench [-scale 0.1] [-j 8]    # timed sweep, JSON perf report (BENCH_lpnuma.json)
 //
 // The experiment and all subcommands share one sweep scheduler: the
 // union of every requested cell is deduplicated and each unique
@@ -60,6 +61,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exitCode(runExperiments(args[2:], stdout, stderr, args[1]), stderr)
 	case "all":
 		return exitCode(runExperiments(args[1:], stdout, stderr, lpnuma.Experiments()...), stderr)
+	case "bench":
+		return exitCode(runBench(args[1:], stdout, stderr), stderr)
 	default:
 		usage(stderr)
 		return 2
@@ -101,7 +104,7 @@ func parseFlags(fs *flag.FlagSet, args []string, stderr io.Writer) error {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, "usage: lpnuma {list|run|experiment <id>|all} [flags]")
+	fmt.Fprintln(w, "usage: lpnuma {list|run|experiment <id>|all|bench} [flags]")
 }
 
 func runOne(args []string, stdout, stderr io.Writer) error {

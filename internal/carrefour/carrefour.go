@@ -13,7 +13,8 @@
 package carrefour
 
 import (
-	"sort"
+	"fmt"
+	"slices"
 
 	"repro/internal/ibs"
 	"repro/internal/sim"
@@ -71,6 +72,7 @@ type Carrefour struct {
 
 	lastTick float64
 	prev     sim.Snapshot
+	win      sim.WindowScratch
 	havePrev bool
 
 	interleaved map[pageKey]bool
@@ -100,9 +102,9 @@ func (c *Carrefour) MaybeTick(env *sim.Env, now float64) float64 {
 	samples := env.Sampler.Drain()
 	var w sim.WindowMetrics
 	if c.havePrev {
-		w = sim.Window(c.prev, snap)
+		w = c.win.Window(c.prev, snap)
 	} else {
-		w = sim.Window(sim.Snapshot{FaultCycles: make([]float64, len(snap.FaultCycles))}, snap)
+		w = c.win.Window(sim.Snapshot{FaultCycles: make([]float64, len(snap.FaultCycles))}, snap)
 	}
 	c.prev = snap
 	c.havePrev = true
@@ -230,9 +232,21 @@ func (g *PageGroup) Threads() int {
 // order (region, chunk, sub). Only DRAM samples are considered, so that
 // decisions "are not affected by pages that are easily cached" (§3.2.1).
 func GroupSamples(samples []ibs.Sample, nodes int) []PageGroup {
-	idx := make(map[pageKey]int, len(samples))
-	var groups []PageGroup
-	for _, s := range samples {
+	// Pages are identified by a packed (region, chunk, sub) key whose
+	// uint64 ordering equals the tuple ordering, so one integer both
+	// addresses the dedup map (cheaper to hash than a struct key) and
+	// sorts the result. Daemons drain 10⁵+ samples per interval; this
+	// function is the hottest daemon code in whole-pass profiles.
+	idx := make(map[uint64]int32, 1024)
+	// Groups accumulate in fixed-size blocks: growing a flat slice would
+	// re-copy every ~80-byte struct on each doubling, which dominated
+	// profiles at 10⁵ groups per interval.
+	var blocks [][]PageGroup
+	nGroups := int32(0)
+	keyed := make([]uint64, 0, 1024) // key<<groupIdxBits | group index
+	var slab []float64               // shared backing for the per-group NodeWeight slices
+	for i := range samples {
+		s := &samples[i]
 		if !s.DRAM {
 			continue
 		}
@@ -240,14 +254,28 @@ func GroupSamples(samples []ibs.Sample, nodes int) []PageGroup {
 		if w <= 0 {
 			w = 1
 		}
-		key := pageKey{s.Page.Region.ID, s.Page.Chunk, s.Page.Sub}
-		i, ok := idx[key]
+		key := packPageKey(s.Page.Region.ID, s.Page.Chunk, s.Page.Sub)
+		gi, ok := idx[key]
 		if !ok {
-			i = len(groups)
-			idx[key] = i
-			groups = append(groups, PageGroup{Page: s.Page, NodeWeight: make([]float64, nodes)})
+			if int(nGroups) >= maxKeyGroups {
+				panic("carrefour: group count overflows the sort-key index bits")
+			}
+			gi = nGroups
+			nGroups++
+			idx[key] = gi
+			if len(slab)+nodes > cap(slab) {
+				slab = make([]float64, 0, groupBlock*nodes)
+			}
+			nw := slab[len(slab) : len(slab)+nodes : len(slab)+nodes]
+			slab = slab[:len(slab)+nodes]
+			if int(gi)>>groupBlockShift == len(blocks) {
+				blocks = append(blocks, make([]PageGroup, 0, groupBlock))
+			}
+			b := &blocks[gi>>groupBlockShift]
+			*b = append(*b, PageGroup{Page: s.Page, NodeWeight: nw})
+			keyed = append(keyed, key<<groupIdxBits|uint64(gi))
 		}
-		g := &groups[i]
+		g := &blocks[gi>>groupBlockShift][gi&(groupBlock-1)]
 		g.Count++
 		g.Weight += w
 		g.NodeWeight[s.AccessorNode] += w
@@ -256,15 +284,41 @@ func GroupSamples(samples []ibs.Sample, nodes int) []PageGroup {
 			g.LocalWeight += w
 		}
 	}
-	sort.Slice(groups, func(a, b int) bool {
-		ga, gb := groups[a], groups[b]
-		if ga.Page.Region.ID != gb.Page.Region.ID {
-			return ga.Page.Region.ID < gb.Page.Region.ID
-		}
-		if ga.Page.Chunk != gb.Page.Chunk {
-			return ga.Page.Chunk < gb.Page.Chunk
-		}
-		return ga.Page.Sub < gb.Page.Sub
-	})
-	return groups
+	// Sort the packed (key, group index) words with the specialized
+	// ordered-type sort — no comparator closures, 8-byte swaps — then
+	// place each ~80-byte group exactly once.
+	slices.Sort(keyed)
+	sorted := make([]PageGroup, nGroups)
+	for i, kg := range keyed {
+		gi := int32(kg & (1<<groupIdxBits - 1))
+		sorted[i] = blocks[gi>>groupBlockShift][gi&(groupBlock-1)]
+	}
+	return sorted
+}
+
+// groupBlock is the accumulation block size of GroupSamples.
+const (
+	groupBlockShift = 12
+	groupBlock      = 1 << groupBlockShift
+)
+
+// Packed page-key layout: region(12 bits) | chunk(20) | sub+1(10) sorts
+// identically to the (region, chunk, sub) tuple, and leaves 21 low bits
+// to carry a group index through the sort (2 M groups, comfortably above
+// the IBS buffer bound of 8 nodes × 200 K samples). The guards keep the
+// packing honest if workloads ever outgrow it.
+const (
+	subKeyBits   = 10
+	chunkKeyBits = 20
+	groupIdxBits = 21
+	maxKeyRegion = 1 << 12
+	maxKeyChunk  = 1 << chunkKeyBits
+	maxKeyGroups = 1 << groupIdxBits
+)
+
+func packPageKey(region, chunk, sub int) uint64 {
+	if region >= maxKeyRegion || chunk >= maxKeyChunk || sub+1 >= 1<<subKeyBits {
+		panic(fmt.Sprintf("carrefour: page key overflow (region %d, chunk %d, sub %d)", region, chunk, sub))
+	}
+	return uint64(region)<<(subKeyBits+chunkKeyBits) | uint64(chunk)<<subKeyBits | uint64(sub+1)
 }

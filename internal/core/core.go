@@ -88,6 +88,7 @@ type LP struct {
 
 	lastTick   float64
 	prev       sim.Snapshot
+	win        sim.WindowScratch
 	havePrev   bool
 	splitPages bool
 
@@ -132,9 +133,9 @@ func (lp *LP) MaybeTick(env *sim.Env, now float64) float64 {
 	samples := env.Sampler.Drain()
 	var w sim.WindowMetrics
 	if lp.havePrev {
-		w = sim.Window(lp.prev, snap)
+		w = lp.win.Window(lp.prev, snap)
 	} else {
-		w = sim.Window(sim.Snapshot{FaultCycles: make([]float64, len(snap.FaultCycles))}, snap)
+		w = lp.win.Window(sim.Snapshot{FaultCycles: make([]float64, len(snap.FaultCycles))}, snap)
 	}
 	lp.prev = snap
 	lp.havePrev = true

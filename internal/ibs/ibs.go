@@ -81,6 +81,7 @@ func DefaultConfig() Config {
 type Sampler struct {
 	Cfg     Config
 	buffers [][]Sample
+	drain   []Sample // reusable merge buffer handed out by Drain
 	dropped uint64
 	taken   uint64
 }
@@ -108,30 +109,54 @@ func (s *Sampler) Maybe(rng *stats.Rng, sample Sample) float64 {
 	return s.Cfg.CyclesPerSample
 }
 
-// Record unconditionally stores a sample (used by tests and by replaying
-// trace data).
+// Record unconditionally stores a sample (used by the engine's merge
+// stage and by replaying trace data).
 func (s *Sampler) Record(sample Sample) {
 	node := int(sample.AccessorNode)
-	if len(s.buffers[node]) >= s.Cfg.MaxPerNode {
+	b := s.buffers[node]
+	if len(b) >= s.Cfg.MaxPerNode {
 		s.dropped++
 		return
 	}
-	s.buffers[node] = append(s.buffers[node], sample)
+	if len(b) == cap(b) {
+		// Buffers climb toward MaxPerNode (200 K samples by default)
+		// every interval; quadrupling bounded by the cap copies far fewer
+		// bytes than append's doubling on the way up.
+		ncap := cap(b) * 4
+		if ncap < 1024 {
+			ncap = 1024
+		}
+		if ncap > s.Cfg.MaxPerNode {
+			ncap = s.Cfg.MaxPerNode
+		}
+		nb := make([]Sample, len(b), ncap)
+		copy(nb, b)
+		b = nb
+	}
+	s.buffers[node] = append(b, sample)
 	s.taken++
 }
 
 // Drain returns all buffered samples merged in node order and clears the
 // buffers; called by the policy daemon at the start of each interval.
+// The returned slice is owned by the sampler and valid only until the
+// next Drain call — daemons consume it within their tick, so the
+// multi-megabyte merge buffer is reused instead of reallocated every
+// interval.
 func (s *Sampler) Drain() []Sample {
 	var total int
 	for _, b := range s.buffers {
 		total += len(b)
 	}
-	out := make([]Sample, 0, total)
+	if cap(s.drain) < total {
+		s.drain = make([]Sample, 0, total)
+	}
+	out := s.drain[:0]
 	for i, b := range s.buffers {
 		out = append(out, b...)
 		s.buffers[i] = s.buffers[i][:0]
 	}
+	s.drain = out
 	return out
 }
 

@@ -127,6 +127,19 @@ func (f *Fabric) Latency(src, dst topo.NodeID) float64 {
 	return cycles
 }
 
+// FillLatencyMatrix writes the current (lagged) src→dst fabric latency
+// of every node pair into dst, a flat row-major [src][dst] table of
+// length Nodes×Nodes. Values are constant between EndEpoch calls, so the
+// engine snapshots them once per epoch.
+func (f *Fabric) FillLatencyMatrix(dst []float64) {
+	n := f.Machine.Nodes
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			dst[s*n+d] = f.Latency(topo.NodeID(s), topo.NodeID(d))
+		}
+	}
+}
+
 // Record charges count requests to every link on the src→dst path.
 func (f *Fabric) Record(src, dst topo.NodeID, count float64) {
 	if src == dst {

@@ -170,6 +170,14 @@ func (s *System) Latency(n topo.NodeID) float64 { return s.latency[n] }
 // Utilization returns node n's lagged controller utilization in [0, ~1+].
 func (s *System) Utilization(n topo.NodeID) float64 { return s.util[n] }
 
+// FillLatencies writes every node's current (lagged) latency into dst,
+// which must have length Machine.Nodes. The engine snapshots the values
+// once per epoch into a flat table instead of paying an interface-free
+// but still call-heavy Latency lookup per priced DRAM access.
+func (s *System) FillLatencies(dst []float64) {
+	copy(dst, s.latency)
+}
+
 // EndEpoch folds the epoch's request counts into the latency model for the
 // next epoch and resets the per-epoch counters. epochCycles is the length
 // of the finished epoch in core cycles.

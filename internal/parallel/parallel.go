@@ -1,0 +1,67 @@
+// Package parallel provides the worker-token pool shared between the
+// sweep scheduler (which parallelizes *across* simulations) and the
+// simulation engine (which parallelizes *within* one simulation's
+// epochs). One pool holds one budget of tokens — typically the -j flag —
+// so the two layers never oversubscribe the host: while many cells are
+// queued every token drives a distinct simulation, and as the sweep
+// drains into its tail the finishing cells' tokens become extra
+// intra-run workers for the cells still running.
+//
+// Token accounting is advisory only: engine results are byte-identical
+// for any number of workers, so acquiring more or fewer tokens can never
+// change a simulation's output, only its wall-clock time.
+package parallel
+
+import "runtime"
+
+// Pool is a fixed budget of worker tokens. The zero value is not usable;
+// call NewPool.
+type Pool struct {
+	tokens chan struct{}
+}
+
+// NewPool builds a pool of n tokens; n <= 0 selects runtime.NumCPU().
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	p := &Pool{tokens: make(chan struct{}, n)}
+	for i := 0; i < n; i++ {
+		p.tokens <- struct{}{}
+	}
+	return p
+}
+
+// Cap reports the pool's total token budget.
+func (p *Pool) Cap() int { return cap(p.tokens) }
+
+// Acquire blocks until a token is available and takes it. The sweep
+// scheduler acquires one token per running simulation.
+func (p *Pool) Acquire() { <-p.tokens }
+
+// Release returns one token.
+func (p *Pool) Release() { p.tokens <- struct{}{} }
+
+// TryAcquire takes up to n extra tokens without blocking and reports how
+// many it got. The engine calls this at the start of a parallel phase;
+// whatever is free right now becomes extra workers, and a pool that is
+// fully busy simply leaves the caller single-threaded.
+func (p *Pool) TryAcquire(n int) int {
+	got := 0
+	for got < n {
+		select {
+		case <-p.tokens:
+			got++
+		default:
+			return got
+		}
+	}
+	return got
+}
+
+// ReleaseN returns n tokens taken with TryAcquire.
+func (p *Pool) ReleaseN(n int) {
+	for i := 0; i < n; i++ {
+		p.tokens <- struct{}{}
+	}
+}

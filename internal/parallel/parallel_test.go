@@ -1,0 +1,68 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestPoolCapDefaultsToNumCPU(t *testing.T) {
+	if got := NewPool(0).Cap(); got != runtime.NumCPU() {
+		t.Fatalf("Cap() = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := NewPool(3).Cap(); got != 3 {
+		t.Fatalf("Cap() = %d, want 3", got)
+	}
+}
+
+func TestTryAcquireNeverBlocksOrOverdraws(t *testing.T) {
+	p := NewPool(4)
+	p.Acquire() // one held slot, three free
+	if got := p.TryAcquire(8); got != 3 {
+		t.Fatalf("TryAcquire(8) = %d, want 3", got)
+	}
+	if got := p.TryAcquire(1); got != 0 {
+		t.Fatalf("TryAcquire on empty pool = %d, want 0", got)
+	}
+	p.ReleaseN(3)
+	p.Release()
+	if got := p.TryAcquire(8); got != 4 {
+		t.Fatalf("TryAcquire after full release = %d, want 4", got)
+	}
+	p.ReleaseN(4)
+}
+
+// TestPoolBoundsConcurrency hammers the pool from many goroutines and
+// asserts the token budget is never exceeded.
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const budget = 4
+	p := NewPool(budget)
+	var mu sync.Mutex
+	inUse, peak := 0, 0
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p.Acquire()
+				extra := p.TryAcquire(2)
+				mu.Lock()
+				inUse += 1 + extra
+				if inUse > peak {
+					peak = inUse
+				}
+				mu.Unlock()
+				mu.Lock()
+				inUse -= 1 + extra
+				mu.Unlock()
+				p.ReleaseN(extra)
+				p.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if peak > budget {
+		t.Fatalf("peak tokens in use %d exceeds budget %d", peak, budget)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/parallel"
 	"repro/internal/runner"
 	"repro/internal/sim"
 )
@@ -62,6 +63,9 @@ func KeyOf(req runner.Request) Key {
 // hashConfig fingerprints an engine configuration field by field (FNV-1a
 // over an explicit serialization, so the hash is stable across processes
 // and Go versions, unlike hashing the in-memory representation).
+// Config.Workers and Config.Pool are deliberately absent: the engine's
+// results are byte-identical for any worker count (enforced by test), so
+// cells differing only in parallelism must share one cache entry.
 func hashConfig(cfg sim.Config) uint64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%g|%d|%g|%d|%g|%g|%d|%g|%g|%g|%d",
@@ -110,7 +114,13 @@ type cell struct {
 // A zero-value Scheduler is not usable; call New.
 type Scheduler struct {
 	workers int
-	sem     chan struct{} // scheduler-wide worker-pool slots
+	// pool is the scheduler-wide worker-token budget. Each running cell
+	// holds one token, and the engine inside the cell borrows any free
+	// tokens as extra intra-run pricing workers (see sim.Config.Pool), so
+	// the -j budget bounds total host parallelism across both layers:
+	// while the sweep is wide every token drives a distinct simulation,
+	// and in the tail the idle tokens speed up the stragglers.
+	pool *parallel.Pool
 	// Progress, when non-nil, is called after each executed (not cached)
 	// cell completes, with the number of cells finished so far in the
 	// current batch and the batch's total. Calls are serialized (under a
@@ -137,7 +147,7 @@ func New(workers int) *Scheduler {
 	}
 	return &Scheduler{
 		workers: workers,
-		sem:     make(chan struct{}, workers),
+		pool:    parallel.NewPool(workers),
 		run:     runner.Run,
 		cells:   map[Key]*cell{},
 	}
@@ -145,6 +155,25 @@ func New(workers int) *Scheduler {
 
 // Workers reports the worker-pool bound.
 func (s *Scheduler) Workers() int { return s.workers }
+
+// withPool hands the scheduler's token pool to the cell's engine so
+// intra-run parallelism draws from the same -j budget. The request's own
+// configuration is copied, never mutated (requests may be shared across
+// batches), and the pool cannot change the cell's result — only how fast
+// it arrives.
+func (s *Scheduler) withPool(req runner.Request) runner.Request {
+	cfg := sim.DefaultConfig()
+	if req.Cfg != nil {
+		cfg = *req.Cfg
+	}
+	cfg.Pool = s.pool
+	// Under a scheduler the pool is the only parallelism authority: a
+	// caller-set Workers would bypass it (the engine gives Workers
+	// precedence) and oversubscribe the host by up to -j × Workers.
+	cfg.Workers = 0
+	req.Cfg = &cfg
+	return req
+}
 
 // Totals reports lifetime statistics accumulated over every Results
 // batch.
@@ -211,9 +240,9 @@ func (s *Scheduler) Results(reqs []runner.Request) ([]sim.Result, Stats, error) 
 			wg.Add(1)
 			go func(k Key) {
 				defer wg.Done()
-				s.sem <- struct{}{} // scheduler-wide slot, shared across batches
-				res, err := s.run(reqByKey[k])
-				<-s.sem
+				s.pool.Acquire() // scheduler-wide token, shared across batches
+				res, err := s.run(s.withPool(reqByKey[k]))
+				s.pool.Release()
 				s.mu.Lock()
 				c := s.cells[k]
 				c.res, c.err = res, err

@@ -79,8 +79,12 @@ func TestKeyNormalization(t *testing.T) {
 // list: perturbing any field of sim.Config (recursing into embedded
 // structs like ibs.Config) must change the hash. A new config field that
 // is not added to hashConfig fails here instead of silently colliding
-// cache cells.
+// cache cells. Fields that can never change results — the engine's
+// parallelism knobs, whose irrelevance is enforced by
+// sim.TestResultIdenticalAcrossWorkerCounts — are excluded on purpose:
+// cells differing only in them MUST collide, that is the reuse.
 func TestHashConfigCoversEveryField(t *testing.T) {
+	excluded := map[string]bool{"Workers": true, "Pool": true}
 	base := hashConfig(sim.DefaultConfig())
 	var leaves []string
 	var collect func(tp reflect.Type, path string)
@@ -96,6 +100,9 @@ func TestHashConfigCoversEveryField(t *testing.T) {
 	}
 	collect(reflect.TypeOf(sim.Config{}), "")
 	for _, leaf := range leaves {
+		if excluded[leaf] {
+			continue
+		}
 		cfg := sim.DefaultConfig()
 		v := reflect.ValueOf(&cfg).Elem()
 		for _, part := range strings.Split(leaf, ".") {

@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/tlb"
+	"repro/internal/topo"
+	"repro/internal/workloads"
+)
+
+// workerCell names one (machine, workload, policy) simulation for the
+// determinism matrix.
+type workerCell struct {
+	name    string
+	machine *topo.Machine
+	spec    func(t *testing.T) workloads.Spec
+	policy  func() OS
+}
+
+func byName(name string) func(t *testing.T) workloads.Spec {
+	return func(t *testing.T) workloads.Spec {
+		t.Helper()
+		spec, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return spec
+	}
+}
+
+// TestResultIdenticalAcrossWorkerCounts is the engine's central
+// parallelism contract: sim.Result must be byte-identical whether the
+// steady-state pricing stage runs on 1, 2 or NumCPU workers. runcache
+// relies on this to exclude Config.Workers/Pool from cell addresses.
+func TestResultIdenticalAcrossWorkerCounts(t *testing.T) {
+	cells := []workerCell{
+		{"B/CG.D/THP", topo.MachineB(), byName("CG.D"), func() OS { return &thpOn{} }},
+		{"A/UA.B/Linux4K", topo.MachineA(), byName("UA.B"), func() OS { return linux4K{} }},
+	}
+	counts := []int{1, 2, runtime.NumCPU()}
+	for _, cell := range cells {
+		t.Run(cell.name, func(t *testing.T) {
+			var base Result
+			for i, workers := range counts {
+				cfg := DefaultConfig()
+				cfg.WorkScale = 0.05
+				cfg.Workers = workers
+				eng, err := New(cell.machine, cell.spec(t), cell.policy(), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := eng.Run()
+				if i == 0 {
+					base = res
+					continue
+				}
+				if !reflect.DeepEqual(base, res) {
+					t.Fatalf("result differs between %d and %d workers:\n%+v\nvs\n%+v",
+						counts[0], workers, base, res)
+				}
+			}
+		})
+	}
+}
+
+// primeSteady advances an engine past its allocation barrier and
+// prepares a steady-state epoch context (the snapshot runEpoch builds
+// before pricing), so benchmarks can exercise the sampling loop alone.
+func primeSteady(tb testing.TB, e *Engine) (tlb.Assessment, float64) {
+	tb.Helper()
+	epochCycles := e.cfg.EpochSeconds * e.machine.FreqHz
+	for epoch := 0; epoch < 10000; epoch++ {
+		if e.wl.AllocAllDone() {
+			break
+		}
+		e.runEpoch(epoch, epochCycles)
+	}
+	if !e.wl.AllocAllDone() {
+		tb.Fatal("allocation phase did not finish")
+	}
+	e.env.Space.BeginEpoch()
+	e.snapshotEpoch()
+	return e.tlbModel.Assess(e.wl.TLBSegments(0, e.counts)), epochCycles
+}
+
+// priceOneEpoch reprices every thread's steady epoch serially with reset
+// per-thread state, exactly the stage-1 work of one epoch.
+func priceOneEpoch(e *Engine, assess tlb.Assessment, epochCycles float64) {
+	for t := 0; t < e.threads; t++ {
+		e.budgets[t] = epochCycles
+		e.progress[t] = 0
+		e.finishTime[t] = -1
+		e.stolen[t] = 0
+		e.ts[t].ran = true
+		e.priceSteady(t, 0, epochCycles, assess, false)
+	}
+}
+
+func steadyEngine(tb testing.TB) *Engine {
+	tb.Helper()
+	spec, err := workloads.ByName("CG.D")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.WorkScale = 0.05
+	eng, err := New(topo.MachineB(), spec, &thpOn{}, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return eng
+}
+
+// TestSteadyEpochZeroAlloc pins the zero-allocation invariant of the
+// steady-state sampling loop: once per-thread scratch is warm, pricing a
+// full epoch for all 64 threads of machine B performs no heap
+// allocation.
+func TestSteadyEpochZeroAlloc(t *testing.T) {
+	eng := steadyEngine(t)
+	assess, epochCycles := primeSteady(t, eng)
+	allocs := testing.AllocsPerRun(10, func() {
+		priceOneEpoch(eng, assess, epochCycles)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state pricing allocates %.1f times per epoch, want 0", allocs)
+	}
+}
+
+// BenchmarkSteadyEpoch measures stage 1 of the engine: pricing one full
+// steady-state epoch (64 threads × SteadySamples accesses on machine B)
+// against the epoch snapshot. Run with -benchmem; the allocation count
+// must be 0 (also enforced by TestSteadyEpochZeroAlloc).
+func BenchmarkSteadyEpoch(b *testing.B) {
+	eng := steadyEngine(b)
+	assess, epochCycles := primeSteady(b, eng)
+	priceOneEpoch(eng, assess, epochCycles) // warm scratch capacity
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		priceOneEpoch(eng, assess, epochCycles)
+	}
+}
+
+// BenchmarkSteadyEpochParallel is BenchmarkSteadyEpoch through the real
+// fan-out path (worker pool, atomic accounting), for comparing the
+// shared-accounting overhead and the scaling on multi-core hosts.
+func BenchmarkSteadyEpochParallel(b *testing.B) {
+	eng := steadyEngine(b)
+	eng.cfg.Workers = runtime.NumCPU()
+	assess, epochCycles := primeSteady(b, eng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for t := 0; t < eng.threads; t++ {
+			eng.budgets[t] = epochCycles
+			eng.progress[t] = 0
+			eng.finishTime[t] = -1
+			eng.stolen[t] = 0
+			eng.ts[t].ran = true
+		}
+		eng.priceAll(0, epochCycles, assess, eng.threads)
+	}
+}

@@ -10,15 +10,27 @@
 // Contention is resolved with a lagged fixed point: controller and link
 // latencies for epoch t come from epoch t-1's request rates, mirroring the
 // feedback delay of real queueing (DESIGN.md §4.1).
+//
+// Because all cross-thread coupling is lagged, threads are independent
+// *within* an epoch by construction, and the engine exploits that: the
+// steady-state pricing of all threads runs as a read-only parallel stage
+// over per-thread scratch (per-thread RNG streams are already split by
+// (epoch, thread)), and the shared models are then updated by a serial
+// merge stage that walks threads in index order. Results are
+// byte-identical for any worker count (DESIGN.md §4.6).
 package sim
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/cache"
 	"repro/internal/ibs"
 	"repro/internal/interconnect"
 	"repro/internal/mem"
+	"repro/internal/parallel"
 	"repro/internal/perf"
 	"repro/internal/stats"
 	"repro/internal/thp"
@@ -54,6 +66,19 @@ type Config struct {
 	Seed uint64
 	// IBS configures the hardware sampler.
 	IBS ibs.Config
+
+	// Workers caps the intra-run worker count of the parallel pricing
+	// stage: 0 selects the host parallelism (or defers to Pool when one
+	// is attached), 1 forces serial pricing. Results are byte-identical
+	// for any value — worker count changes only wall-clock time — so the
+	// field is deliberately excluded from runcache's content address.
+	Workers int
+	// Pool, when non-nil, is the worker-token budget shared with the
+	// sweep scheduler: the engine opportunistically borrows free tokens
+	// as extra pricing workers and returns them after each epoch, so one
+	// -j knob governs total host parallelism with no oversubscription.
+	// Like Workers, the pool cannot affect results.
+	Pool *parallel.Pool
 }
 
 // DefaultConfig returns the evaluation calibration.
@@ -135,34 +160,57 @@ type WindowMetrics struct {
 	DRAMAccesses     float64
 }
 
-// Window computes metrics for the interval between two snapshots.
-func Window(from, to Snapshot) WindowMetrics {
+// WindowScratch holds the reusable difference buffers behind Window so
+// policy daemons that tick every few epochs do not allocate two slices
+// per interval. The zero value is ready to use.
+type WindowScratch struct {
+	rates, diff []float64
+}
+
+// Window computes metrics for the interval between two snapshots using
+// the scratch's buffers.
+func (ws *WindowScratch) Window(from, to Snapshot) WindowMetrics {
 	d := to.Counters.Sub(from.Counters)
 	var m WindowMetrics
 	m.LARPct = d.LARPct()
 	m.PTWSharePct = d.PTWL2MissSharePct()
 	m.MemIntensity = d.MemoryIntensity()
 	m.DRAMAccesses = d.DRAMAccesses()
-	rates := make([]float64, len(to.CtrlRequests))
-	for i := range rates {
-		rates[i] = to.CtrlRequests[i]
+	ws.rates = resize(ws.rates, len(to.CtrlRequests))
+	for i := range ws.rates {
+		ws.rates[i] = to.CtrlRequests[i]
 		if i < len(from.CtrlRequests) {
-			rates[i] -= from.CtrlRequests[i]
+			ws.rates[i] -= from.CtrlRequests[i]
 		}
 	}
-	m.ImbalancePct = stats.ImbalancePct(rates)
+	m.ImbalancePct = stats.ImbalancePct(ws.rates)
 	window := to.Cycles - from.Cycles
 	if window > 0 {
-		diff := make([]float64, len(to.FaultCycles))
-		for i := range diff {
-			diff[i] = to.FaultCycles[i]
+		ws.diff = resize(ws.diff, len(to.FaultCycles))
+		for i := range ws.diff {
+			ws.diff[i] = to.FaultCycles[i]
 			if i < len(from.FaultCycles) {
-				diff[i] -= from.FaultCycles[i]
+				ws.diff[i] -= from.FaultCycles[i]
 			}
 		}
-		m.MaxFaultSharePct = perf.MaxFaultSharePct(diff, window)
+		m.MaxFaultSharePct = perf.MaxFaultSharePct(ws.diff, window)
 	}
 	return m
+}
+
+// resize returns buf with exactly n elements, reusing its storage when
+// the capacity allows.
+func resize(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// Window computes metrics for the interval between two snapshots.
+func Window(from, to Snapshot) WindowMetrics {
+	var ws WindowScratch
+	return ws.Window(from, to)
 }
 
 // Result summarizes one run.
@@ -194,6 +242,54 @@ type Result struct {
 	FaultCounts          [3]uint64 // 4K, 2M, 1G
 }
 
+// accessRec is one deferred steady-state access touching an unmapped
+// page: ground-truth accounting for mapped pages is folded into the
+// parallel stage itself (vm.PeekRecord's commutative atomic updates), so
+// only fault mapping (cost > 0) and accounting whose granularity depends
+// on a pending fault ever reach the serial replay.
+type accessRec struct {
+	off    uint64
+	cost   float64 // fault handler cycles priced; 0 for accounting-only records
+	region int32
+}
+
+// pendingFault is a page this thread has already faulted in the current
+// epoch's pricing stage, so repeated touches resolve to the same mapping
+// (read-your-writes) instead of being priced as fresh faults.
+type pendingFault struct {
+	region int32
+	ci     int32
+	sub    int32 // -1 when the fault mapped the whole chunk (2 MB)
+	node   topo.NodeID
+}
+
+// threadScratch is one thread's reusable pricing state. Everything the
+// steady-state sampling loop touches lives here or in the engine's
+// read-only epoch snapshot, which is what makes the loop allocation-free
+// and safe to run concurrently with other threads' loops.
+type threadScratch struct {
+	rng        stats.Rng
+	homeCnt    []float64 // unscaled DRAM requests per home node
+	samples    []ibs.Sample
+	faultLog   []accessRec // fresh faults to replay via ApplyFault
+	acctLog    []accessRec // unmapped-chunk accounting to replay after faults
+	pendFaults []pendingFault
+
+	// pricing outputs consumed by the merge stage
+	scale        float64
+	realAccesses float64
+	local        float64
+	remote       float64
+	dataL2       float64
+	ptwL2        float64
+	tlbMiss      float64
+	churn        float64
+	markFaulter  bool
+	flush        bool // false when the thread's budget died on fault time
+	finished     bool
+	ran          bool
+}
+
 // Engine runs one (machine, workload, policy) simulation.
 type Engine struct {
 	cfg     Config
@@ -207,6 +303,7 @@ type Engine struct {
 	rng      *stats.Rng
 
 	threads        int
+	nodes          int
 	stolen         []float64 // cycles owed (daemon overhead, budget overrun)
 	progress       []float64
 	finishTime     []float64
@@ -216,12 +313,21 @@ type Engine struct {
 	overhead       float64
 	resetAtBarrier bool
 
-	// scratch buffers reused across epochs
-	profiles  []cache.LevelProbs
-	counts    []workloads.PageCounts
-	dramSrc   []topo.NodeID
-	dramHome  []topo.NodeID
-	pendSamps []ibs.Sample
+	// Per-epoch read-only snapshot, refreshed by runEpoch before any
+	// pricing: page census, cache profiles, per-region churn cost, and
+	// the flat [src][home] DRAM latency table that replaces the two
+	// model calls per priced access.
+	profiles []cache.LevelProbs
+	counts   []workloads.PageCounts
+	churnPer []float64
+	lat      []float64 // lat[src*nodes+home] = controller + fabric cycles
+	memLat   []float64
+
+	// Reusable epoch scratch.
+	budgets     []float64
+	ts          []threadScratch
+	allocActive []int
+	allocCount  []int
 }
 
 // New builds an engine for spec on machine m under policy os.
@@ -242,6 +348,7 @@ func New(m *topo.Machine, spec workloads.Spec, policy OS, cfg Config) (*Engine, 
 		tlbModel: tlb.NewModel(tlb.DefaultConfig()),
 		rng:      stats.NewRng(cfg.Seed),
 		threads:  m.TotalCores(),
+		nodes:    m.Nodes,
 	}
 	e.env = &Env{
 		Machine: m,
@@ -262,8 +369,17 @@ func New(m *topo.Machine, spec workloads.Spec, policy OS, cfg Config) (*Engine, 
 	e.churnFault = make([]float64, e.threads)
 	e.profiles = make([]cache.LevelProbs, len(wl.Regions))
 	e.counts = make([]workloads.PageCounts, len(wl.Regions))
-	e.dramSrc = make([]topo.NodeID, 0, cfg.SteadySamples)
-	e.dramHome = make([]topo.NodeID, 0, cfg.SteadySamples)
+	e.churnPer = make([]float64, len(wl.Regions))
+	e.lat = make([]float64, e.nodes*e.nodes)
+	e.memLat = make([]float64, e.nodes)
+	e.budgets = make([]float64, e.threads)
+	e.allocActive = make([]int, 0, e.threads)
+	e.allocCount = make([]int, e.threads)
+	e.ts = make([]threadScratch, e.threads)
+	for t := range e.ts {
+		e.ts[t].homeCnt = make([]float64, e.nodes)
+		e.ts[t].samples = make([]ibs.Sample, 0, 64)
+	}
 	policy.Setup(e.env)
 	return e, nil
 }
@@ -326,19 +442,36 @@ func (e *Engine) Run() Result {
 	return res
 }
 
+// snapshotEpoch refreshes the per-epoch read-only state every pricing
+// worker shares: page census, cache profiles, per-region churn cost, and
+// the flat DRAM latency table (all lagged values, constant until the
+// next EndEpoch).
+func (e *Engine) snapshotEpoch() {
+	for ri, br := range e.wl.Regions {
+		n4, n2, n1 := br.VM.MappedPages()
+		e.counts[ri] = workloads.PageCounts{N4K: n4, N2M: n2, N1G: n1}
+		e.profiles[ri] = e.wl.CacheProfile(ri, e.hier)
+		e.churnPer[ri] = e.churnCostPerAccess(br)
+	}
+	e.env.Phys.FillLatencies(e.memLat)
+	e.env.Fabric.FillLatencyMatrix(e.lat)
+	for s := 0; s < e.nodes; s++ {
+		row := e.lat[s*e.nodes : (s+1)*e.nodes]
+		for h := range row {
+			row[h] += e.memLat[h]
+		}
+	}
+}
+
 // runEpoch simulates one epoch; it reports whether the workload finished.
 func (e *Engine) runEpoch(epoch int, epochCycles float64) bool {
 	e.env.Space.BeginEpoch()
 	// Refresh per-epoch derived state (page census, cache profiles, TLB
 	// assessment — identical across threads by symmetry).
-	for ri, br := range e.wl.Regions {
-		n4, n2, n1 := br.VM.MappedPages()
-		e.counts[ri] = workloads.PageCounts{N4K: n4, N2M: n2, N1G: n1}
-		e.profiles[ri] = e.wl.CacheProfile(ri, e.hier)
-	}
+	e.snapshotEpoch()
 	assess := e.tlbModel.Assess(e.wl.TLBSegments(0, e.counts))
 
-	budgets := make([]float64, e.threads)
+	budgets := e.budgets
 	for t := range budgets {
 		budgets[t] = epochCycles - e.stolen[t]
 		e.stolen[t] = 0
@@ -357,7 +490,9 @@ func (e *Engine) runEpoch(epoch int, epochCycles float64) bool {
 		e.resetAtBarrier = true
 	}
 	done := true
+	nrun := 0
 	for t := 0; t < e.threads; t++ {
+		e.ts[t].ran = false
 		if e.finishTime[t] >= 0 {
 			continue
 		}
@@ -370,9 +505,24 @@ func (e *Engine) runEpoch(epoch int, epochCycles float64) bool {
 			done = false
 			continue
 		}
-		finished := e.runSteady(t, epoch, epochCycles, budgets, assess)
-		if !finished {
-			done = false
+		e.ts[t].ran = true
+		nrun++
+	}
+	if nrun > 0 {
+		// Stage 1 (parallel): price every runnable thread's epoch against
+		// the shared read-only snapshot, into per-thread scratch.
+		e.priceAll(epoch, epochCycles, assess, nrun)
+		// Stage 2 (serial, in thread order): replay the deferred
+		// mutations into the shared models. The fixed order makes the
+		// result independent of how stage 1 was scheduled.
+		for t := 0; t < e.threads; t++ {
+			if !e.ts[t].ran {
+				continue
+			}
+			e.mergeSteady(t)
+			if !e.ts[t].finished {
+				done = false
+			}
 		}
 	}
 	e.env.Phys.EndEpoch(epochCycles)
@@ -390,90 +540,109 @@ func (e *Engine) runEpoch(epoch int, epochCycles float64) bool {
 	return done
 }
 
-// runAllocRounds advances allocation phases in small per-thread time
-// slices so faulting threads genuinely contend. The visit order is
-// re-shuffled every round: which thread wins the race to an unclaimed
-// chunk is timing noise on real hardware, not a function of thread ids.
-func (e *Engine) runAllocRounds(epoch int, budgets []float64) {
-	active := make([]int, 0, e.threads)
-	allocCount := make([]int, e.threads)
-	for t := 0; t < e.threads; t++ {
-		if !e.wl.AllocDone(t) && budgets[t] > 0 {
-			active = append(active, t)
-		}
+// steadyWorkers decides how many goroutines stage 1 may use and borrows
+// any extra tokens from the shared pool; the caller must return borrowed
+// tokens with ReleaseN. The worker count can never change results, only
+// wall-clock time.
+func (e *Engine) steadyWorkers(nrun int) (workers, borrowed int) {
+	limit := runtime.GOMAXPROCS(0)
+	if limit > nrun {
+		limit = nrun
 	}
-	round := 0
-	for len(active) > 0 {
-		shuffleRng := e.rng.Split(0xa110c<<20 | uint64(epoch)<<8 | uint64(round&0xff))
-		for i := len(active) - 1; i > 0; i-- {
-			j := shuffleRng.Intn(i + 1)
-			active[i], active[j] = active[j], active[i]
-		}
-		round++
-		next := active[:0]
-		for _, t := range active {
-			var spent float64
-			for spent < e.cfg.AllocRoundCycles {
-				if budgets[t] <= 0 || allocCount[t] >= e.cfg.MaxAllocPerEpoch {
-					break
-				}
-				touch, ok := e.wl.NextAlloc(t)
-				if !ok {
-					break
-				}
-				allocCount[t]++
-				res := touch.Region.VM.Access(e.core(t), t, touch.Off)
-				node := res.Node
-				src := e.machine.NodeOf(e.core(t))
-				// Initialization is a streaming write pass: one DRAM line
-				// fill per 8 accesses.
-				const dramFrac = 0.125
-				lat := e.env.Phys.Latency(node) + e.env.Fabric.Latency(src, node)
-				per := 4 + dramFrac*lat*(1-e.wl.Spec.MLPOverlap)
-				cost := res.FaultCycles + touch.Weight*per
-				budgets[t] -= cost
-				spent += cost
-				reqs := touch.Weight * dramFrac
-				e.env.Phys.Record(node, reqs)
-				e.env.Fabric.Record(src, node, reqs)
-				e.counters.Accesses += touch.Weight
-				if src == node {
-					e.counters.LocalDRAM += reqs
-				} else {
-					e.counters.RemoteDRAM += reqs
-				}
-				e.counters.DataL2Misses += reqs
-			}
-			if !e.wl.AllocDone(t) && budgets[t] > 0 && allocCount[t] < e.cfg.MaxAllocPerEpoch {
-				next = append(next, t)
-			}
-		}
-		active = next
+	if limit < 1 {
+		limit = 1
 	}
+	if e.cfg.Workers > 0 {
+		if e.cfg.Workers < limit {
+			return e.cfg.Workers, 0
+		}
+		return limit, 0
+	}
+	if e.cfg.Pool != nil {
+		// The engine's own goroutine already holds one token (its
+		// scheduler slot); free tokens become extra workers for this
+		// epoch only.
+		borrowed = e.cfg.Pool.TryAcquire(limit - 1)
+		return 1 + borrowed, borrowed
+	}
+	return limit, 0
 }
 
-// runSteady prices one thread's steady-state epoch; returns whether the
-// thread finished its work.
-func (e *Engine) runSteady(t, epoch int, epochCycles float64, budgets []float64, assess tlb.Assessment) bool {
-	rng := e.rng.Split(uint64(epoch)<<20 | uint64(t)<<1 | 1)
+// priceAll runs the pricing stage for every runnable thread, fanning out
+// over a bounded worker set when more than one worker is available.
+func (e *Engine) priceAll(epoch int, epochCycles float64, assess tlb.Assessment, nrun int) {
+	workers, borrowed := e.steadyWorkers(nrun)
+	defer func() {
+		if borrowed > 0 {
+			e.cfg.Pool.ReleaseN(borrowed)
+		}
+	}()
+	if workers <= 1 {
+		for t := 0; t < e.threads; t++ {
+			if e.ts[t].ran {
+				e.priceSteady(t, epoch, epochCycles, assess, false)
+			}
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= e.threads {
+					return
+				}
+				if e.ts[t].ran {
+					e.priceSteady(t, epoch, epochCycles, assess, true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// priceSteady prices one thread's steady-state epoch into its scratch.
+// It reads only the epoch snapshot, per-thread state and the (stable
+// between epochs) mapping tables, and writes only per-thread state plus
+// the commutative access accounting (atomically when shared is set) — it
+// must not otherwise touch the shared models, which stage 2 updates in
+// thread order. This loop is the hottest code in the repository and
+// holds the zero-allocation invariant asserted by BenchmarkSteadyEpoch.
+func (e *Engine) priceSteady(t, epoch int, epochCycles float64, assess tlb.Assessment, shared bool) {
+	s := &e.ts[t]
+	e.rng.SplitInto(uint64(epoch)<<20|uint64(t)<<1|1, &s.rng)
+	rng := &s.rng
 	spec := e.wl.Spec
 	tlbCfg := e.tlbModel.Cfg
 	core := e.core(t)
-	src := e.machine.NodeOf(core)
-	startBudget := budgets[t]
+	src := int(e.machine.NodeOf(core))
+	startBudget := e.budgets[t]
 
 	// Expected IBS interrupt overhead per access.
 	ibsPerAccess := e.cfg.IBS.Rate * e.cfg.IBS.CyclesPerSample
 
-	e.dramSrc = e.dramSrc[:0]
-	e.dramHome = e.dramHome[:0]
-	e.pendSamps = e.pendSamps[:0]
+	for i := range s.homeCnt {
+		s.homeCnt[i] = 0
+	}
+	s.samples = s.samples[:0]
+	s.faultLog = s.faultLog[:0]
+	s.acctLog = s.acctLog[:0]
+	s.pendFaults = s.pendFaults[:0]
+	s.markFaulter = false
+	s.flush = false
+	s.finished = false
 
 	work := spec.WorkPerThread
 	if e.cfg.WorkScale > 0 {
 		work *= e.cfg.WorkScale
 	}
 	phase := e.wl.PhaseAt(e.progress[t] / work)
+	latRow := e.lat[src*e.nodes : (src+1)*e.nodes]
+	mlp := 1 - spec.MLPOverlap
 
 	var sumCost, faultDirect float64
 	var local, remote, dataL2, ptwL2, tlbMiss, churnCycles float64
@@ -481,9 +650,18 @@ func (e *Engine) runSteady(t, epoch int, epochCycles float64, budgets []float64,
 	for i := 0; i < K; i++ {
 		acc := e.wl.NextSteadyPhase(t, rng, phase)
 		br := e.wl.Regions[acc.RegionIdx]
-		res := br.VM.Access(core, t, acc.Off)
-		if res.Faulted {
-			faultDirect += res.FaultCycles
+		res, st := br.VM.PeekRecord(acc.Off, t, shared)
+		if st != vm.PeekMapped {
+			var fcost float64
+			res, fcost = s.resolveFault(br.VM, int32(acc.RegionIdx), core, acc.Off)
+			if fcost > 0 {
+				faultDirect += fcost
+				s.faultLog = append(s.faultLog, accessRec{off: acc.Off, cost: fcost, region: int32(acc.RegionIdx)})
+			}
+			if st == vm.PeekUnmappedChunk {
+				// Accounting granularity is decided by the fault replay.
+				s.acctLog = append(s.acctLog, accessRec{off: acc.Off, region: int32(acc.RegionIdx)})
+			}
 		}
 		cost := spec.ExtraCyclesPerAccess + ibsPerAccess
 
@@ -499,12 +677,12 @@ func (e *Engine) runSteady(t, epoch int, epochCycles float64, budgets []float64,
 			}
 		}
 
-		// Allocation churn (expectation per access).
+		// Allocation churn (expectation per access, hoisted per region).
 		if br.Spec.ChurnPer1K > 0 {
-			cc := e.churnCostPerAccess(br)
+			cc := e.churnPer[acc.RegionIdx]
 			cost += cc
 			churnCycles += cc
-			e.env.Space.MarkFaulter(core)
+			s.markFaulter = true
 		}
 
 		// Cache hierarchy.
@@ -520,36 +698,38 @@ func (e *Engine) runSteady(t, epoch int, epochCycles float64, budgets []float64,
 			dataL2++
 		default:
 			dataL2++
-			home := res.Node
-			lat := e.env.Phys.Latency(home) + e.env.Fabric.Latency(src, home)
-			cost += lat * (1 - spec.MLPOverlap)
-			e.dramSrc = append(e.dramSrc, src)
-			e.dramHome = append(e.dramHome, home)
-			if src == home {
+			home := int(res.Node)
+			cost += latRow[home] * mlp
+			s.homeCnt[home]++
+			if home == src {
 				local++
 			} else {
 				remote++
 			}
 			if rng.Bernoulli(e.cfg.IBS.RecordRate) {
-				e.pendSamps = append(e.pendSamps, ibs.Sample{
+				s.samples = append(s.samples, ibs.Sample{
 					Page: res.Page, Off: acc.Off, Thread: t, Core: core,
-					AccessorNode: src, HomeNode: home, DRAM: true,
+					AccessorNode: topo.NodeID(src), HomeNode: res.Node, DRAM: true,
 				})
 			}
 		}
 		sumCost += cost
 	}
 
-	budgets[t] -= faultDirect
-	if budgets[t] <= 0 {
-		e.stolen[t] = -budgets[t]
-		return false
+	e.budgets[t] -= faultDirect
+	if e.budgets[t] <= 0 {
+		// Fault time alone ate the budget: no scaled progress this epoch.
+		// The deferred access log still replays (the faults really
+		// happened); only the scaled flush is skipped.
+		e.stolen[t] = -e.budgets[t]
+		return
 	}
+	s.flush = true
 	avg := sumCost / float64(K)
 	if avg <= 0 {
 		avg = 1
 	}
-	realAccesses := budgets[t] / avg
+	realAccesses := e.budgets[t] / avg
 	remaining := work - e.progress[t]
 	// Do not run past the next phase boundary: the new mix must be
 	// re-priced before it contributes progress.
@@ -558,39 +738,175 @@ func (e *Engine) runSteady(t, epoch int, epochCycles float64, budgets []float64,
 			realAccesses = left
 		}
 	}
-	finished := false
 	if realAccesses >= remaining {
 		realAccesses = remaining
-		used := startBudget - budgets[t] + realAccesses*avg
+		used := startBudget - e.budgets[t] + realAccesses*avg
 		frac := used / epochCycles
 		if frac > 1 {
 			frac = 1
 		}
 		e.finishTime[t] = e.nowCycles/e.machine.FreqHz + frac*e.cfg.EpochSeconds
-		finished = true
+		s.finished = true
 	} else {
-		budgets[t] = 0
+		e.budgets[t] = 0
 	}
 	e.progress[t] += realAccesses
-	scale := realAccesses / float64(K)
+	s.realAccesses = realAccesses
+	s.scale = realAccesses / float64(K)
+	s.local, s.remote, s.dataL2 = local, remote, dataL2
+	s.ptwL2, s.tlbMiss, s.churn = ptwL2, tlbMiss, churnCycles
+}
 
-	// Flush scaled events into the shared models.
-	for i := range e.dramSrc {
-		e.env.Phys.Record(e.dramHome[i], scale)
-		e.env.Fabric.Record(e.dramSrc[i], e.dramHome[i], scale)
+// resolveFault prices a steady-state touch of an unmapped page during
+// the parallel stage: the first touch per page plans a fault
+// (read-only) and remembers it, repeated touches resolve against the
+// thread's own pending faults. Cross-thread racing faults are settled by
+// the merge stage: every racer pays its handler time (they genuinely
+// serialize on the page-table lock), the lowest-indexed thread's
+// placement wins.
+func (s *threadScratch) resolveFault(r *vm.Region, ri int32, core topo.CoreID, off uint64) (vm.AccessResult, float64) {
+	ci := int32(off / uint64(mem.Size2M))
+	sub := int32(off % uint64(mem.Size2M) / uint64(mem.Size4K))
+	for _, pf := range s.pendFaults {
+		if pf.region != ri || pf.ci != ci {
+			continue
+		}
+		if pf.sub < 0 {
+			return vm.AccessResult{Node: pf.node, PageSize: mem.Size2M,
+				Page: vm.PageID{Region: r, Chunk: int(ci), Sub: -1}}, 0
+		}
+		if pf.sub == sub {
+			return vm.AccessResult{Node: pf.node, PageSize: mem.Size4K,
+				Page: vm.PageID{Region: r, Chunk: int(ci), Sub: int(sub)}}, 0
+		}
 	}
-	for _, s := range e.pendSamps {
-		s.Weight = scale
-		e.env.Sampler.Record(s)
+	size, node, cost := r.PlanFault(core, off)
+	psub := sub
+	pageSub := int(sub)
+	if size == mem.Size2M {
+		psub, pageSub = -1, -1
 	}
-	e.counters.Accesses += realAccesses
-	e.counters.LocalDRAM += local * scale
-	e.counters.RemoteDRAM += remote * scale
-	e.counters.DataL2Misses += dataL2 * scale
-	e.counters.PTWL2Misses += ptwL2 * scale
-	e.counters.TLBMisses += tlbMiss * scale
-	e.churnFault[core] += churnCycles * scale
-	return finished
+	s.pendFaults = append(s.pendFaults, pendingFault{region: ri, ci: ci, sub: psub, node: node})
+	return vm.AccessResult{Node: node, PageSize: size,
+		Page:    vm.PageID{Region: r, Chunk: int(ci), Sub: pageSub},
+		Faulted: true, FaultCycles: cost}, cost
+}
+
+// mergeSteady replays one priced thread into the shared models: deferred
+// faults in access order, then accounting whose granularity those faults
+// decide, then the scaled DRAM/IBS/counter flush. Called in thread index
+// order, which fixes every floating-point accumulation order and
+// racing-fault outcome regardless of stage 1's scheduling. In fault-free
+// steady epochs (the common case) both replay logs are empty —
+// accounting already happened in the parallel stage.
+func (e *Engine) mergeSteady(t int) {
+	s := &e.ts[t]
+	core := e.core(t)
+	for i := range s.faultLog {
+		rec := &s.faultLog[i]
+		e.wl.Regions[rec.region].VM.ApplyFault(core, rec.off, rec.cost)
+	}
+	for i := range s.acctLog {
+		rec := &s.acctLog[i]
+		e.wl.Regions[rec.region].VM.RecordAccess(rec.off, t)
+	}
+	if s.markFaulter {
+		e.env.Space.MarkFaulter(core)
+	}
+	if !s.flush {
+		return
+	}
+	scale := s.scale
+	src := e.machine.NodeOf(core)
+	for h, cnt := range s.homeCnt {
+		if cnt == 0 {
+			continue
+		}
+		home := topo.NodeID(h)
+		e.env.Phys.Record(home, cnt*scale)
+		e.env.Fabric.Record(src, home, cnt*scale)
+	}
+	for i := range s.samples {
+		smp := s.samples[i]
+		smp.Weight = scale
+		e.env.Sampler.Record(smp)
+	}
+	e.counters.Accesses += s.realAccesses
+	e.counters.LocalDRAM += s.local * scale
+	e.counters.RemoteDRAM += s.remote * scale
+	e.counters.DataL2Misses += s.dataL2 * scale
+	e.counters.PTWL2Misses += s.ptwL2 * scale
+	e.counters.TLBMisses += s.tlbMiss * scale
+	e.churnFault[core] += s.churn * scale
+}
+
+// runAllocRounds advances allocation phases in small per-thread time
+// slices so faulting threads genuinely contend. The visit order is
+// re-shuffled every round: which thread wins the race to an unclaimed
+// chunk is timing noise on real hardware, not a function of thread ids.
+// Allocation stays serial: it is the phase whose whole point is
+// cross-thread contention (racing first-touches, page-table locks), so
+// threads are not independent within an epoch here.
+func (e *Engine) runAllocRounds(epoch int, budgets []float64) {
+	active := e.allocActive[:0]
+	allocCount := e.allocCount
+	for t := 0; t < e.threads; t++ {
+		allocCount[t] = 0
+		if !e.wl.AllocDone(t) && budgets[t] > 0 {
+			active = append(active, t)
+		}
+	}
+	round := 0
+	var shuffleRng stats.Rng
+	for len(active) > 0 {
+		e.rng.SplitInto(0xa110c<<20|uint64(epoch)<<8|uint64(round&0xff), &shuffleRng)
+		for i := len(active) - 1; i > 0; i-- {
+			j := shuffleRng.Intn(i + 1)
+			active[i], active[j] = active[j], active[i]
+		}
+		round++
+		next := active[:0]
+		for _, t := range active {
+			var spent float64
+			src := int(e.machine.NodeOf(e.core(t)))
+			latRow := e.lat[src*e.nodes : (src+1)*e.nodes]
+			for spent < e.cfg.AllocRoundCycles {
+				if budgets[t] <= 0 || allocCount[t] >= e.cfg.MaxAllocPerEpoch {
+					break
+				}
+				touch, ok := e.wl.NextAlloc(t)
+				if !ok {
+					break
+				}
+				allocCount[t]++
+				res := touch.Region.VM.Access(e.core(t), t, touch.Off)
+				node := res.Node
+				// Initialization is a streaming write pass: one DRAM line
+				// fill per 8 accesses.
+				const dramFrac = 0.125
+				lat := latRow[node]
+				per := 4 + dramFrac*lat*(1-e.wl.Spec.MLPOverlap)
+				cost := res.FaultCycles + touch.Weight*per
+				budgets[t] -= cost
+				spent += cost
+				reqs := touch.Weight * dramFrac
+				e.env.Phys.Record(node, reqs)
+				e.env.Fabric.Record(topo.NodeID(src), node, reqs)
+				e.counters.Accesses += touch.Weight
+				if int(node) == src {
+					e.counters.LocalDRAM += reqs
+				} else {
+					e.counters.RemoteDRAM += reqs
+				}
+				e.counters.DataL2Misses += reqs
+			}
+			if !e.wl.AllocDone(t) && budgets[t] > 0 && allocCount[t] < e.cfg.MaxAllocPerEpoch {
+				next = append(next, t)
+			}
+		}
+		active = next
+	}
+	e.allocActive = active[:0]
 }
 
 // churnCostPerAccess prices allocation churn in expectation: fresh pages

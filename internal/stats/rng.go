@@ -35,6 +35,16 @@ func (r *Rng) Split(label uint64) *Rng {
 	return &Rng{state: z ^ (z >> 31) | 1}
 }
 
+// SplitInto derives the same child stream as Split but writes it into
+// child instead of allocating, for callers on zero-allocation hot paths
+// (the engine re-seeds one per-thread generator per epoch).
+func (r *Rng) SplitInto(label uint64, child *Rng) {
+	z := r.state ^ (label+0x9E3779B97F4A7C15)*0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	child.state = z ^ (z >> 31) | 1
+}
+
 // Uint64 returns the next value in the stream.
 func (r *Rng) Uint64() uint64 {
 	r.state += 0x9E3779B97F4A7C15

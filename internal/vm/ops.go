@@ -122,7 +122,7 @@ func (r *Region) MigrateSub(ci, sub int, to topo.NodeID, costs OpCosts) (float64
 		return 0, false
 	}
 	r.Space.Phys.Free(from, mem.Size4K)
-	c.subNode[sub] = uint8(to)
+	c.mapSub(sub, to)
 	return costs.Migrate4K, true
 }
 
@@ -138,7 +138,7 @@ func (r *Region) SplitChunk(ci int, costs OpCosts) (float64, bool) {
 	r.Space.Phys.Free(node, mem.Size2M)
 	c.ensureSubs()
 	for i := range c.subNode {
-		c.subNode[i] = uint8(node)
+		c.mapSub(i, node)
 		c.subAcc[i] = 0
 		c.subMask[i] = 0
 		if err := r.Space.Phys.Allocate(node, mem.Size4K); err != nil {
@@ -203,6 +203,7 @@ func (r *Region) PromoteChunk(ci int, to topo.NodeID, minSubs int, costs OpCosts
 	c.state = state2M
 	c.node = to
 	c.subNode = nil
+	c.mapped = 0
 	c.subAcc = nil
 	c.subMask = nil
 	c.threadMask = 0

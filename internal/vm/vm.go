@@ -15,6 +15,7 @@ package vm
 import (
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 
 	"repro/internal/mem"
 	"repro/internal/topo"
@@ -25,6 +26,19 @@ const SubsPerChunk = 512
 
 // ChunksPerGiant is the number of 2 MB chunks in a 1 GB page.
 const ChunksPerGiant = 512
+
+// chunkShift and subShift turn byte offsets into chunk and 4 KB-page
+// indices with plain shifts on the access fast path.
+const (
+	chunkShift = 21 // log2(mem.Size2M)
+	subShift   = 12 // log2(mem.Size4K)
+)
+
+// Compile-time guards tying the shifts to the page-size constants.
+var (
+	_ [1]struct{} = [uint64(mem.Size2M) >> chunkShift]struct{}{}
+	_ [1]struct{} = [uint64(mem.Size4K) >> subShift]struct{}{}
+)
 
 // chunkState encodes how a chunk is currently backed.
 type chunkState uint8
@@ -49,6 +63,9 @@ type chunk struct {
 	// 4 KB bookkeeping, allocated lazily when the chunk is split or
 	// first mapped with small pages.
 	subNode []uint8 // home node per 4 KB page, unmappedNode when absent
+	// mapped counts the non-unmappedNode entries of subNode incrementally
+	// (mappedSubs sits on the fault and promotion paths).
+	mapped int32
 
 	// Ground-truth access accounting at mapping granularity.
 	accesses   uint64
@@ -68,15 +85,18 @@ func (c *chunk) ensureSubs() {
 	}
 }
 
-// mappedSubs counts the mapped 4 KB pages of a split chunk.
-func (c *chunk) mappedSubs() int {
-	n := 0
-	for _, s := range c.subNode {
-		if s != unmappedNode {
-			n++
-		}
+// mappedSubs returns the number of mapped 4 KB pages of a split chunk,
+// maintained incrementally (mapSub / PromoteChunk / SplitChunk) instead
+// of scanning the 512 slots on every fault.
+func (c *chunk) mappedSubs() int { return int(c.mapped) }
+
+// mapSub points 4 KB slot sub at node, keeping the incremental mapped
+// count in sync. It must be the only writer of subNode slots.
+func (c *chunk) mapSub(sub int, node topo.NodeID) {
+	if c.subNode[sub] == unmappedNode {
+		c.mapped++
 	}
-	return n
+	c.subNode[sub] = uint8(node)
 }
 
 // Region is a contiguous virtual segment (an "allocation" from the
@@ -166,10 +186,10 @@ type AddrSpace struct {
 	faultCount2M       uint64
 	faultCount1G       uint64
 
-	// Lagged page-table-lock contention: number of threads that faulted
-	// last epoch.
-	faultersThisEpoch map[int]struct{}
-	laggedFaulters    int
+	// Lagged page-table-lock contention: per-core bitset of threads that
+	// faulted this epoch, and last epoch's population count.
+	faulterBits    []uint64
+	laggedFaulters int
 }
 
 // NewAddrSpace creates an empty address space on machine m backed by phys.
@@ -181,7 +201,7 @@ func NewAddrSpace(m *topo.Machine, phys *mem.System, fp FaultParams) *AddrSpace 
 		AllocSize:          func(*Region, int) mem.PageSize { return mem.Size4K },
 		nextVA:             1 << 30,
 		faultCyclesPerCore: make([]float64, m.TotalCores()),
-		faultersThisEpoch:  make(map[int]struct{}),
+		faulterBits:        make([]uint64, (m.TotalCores()+63)/64),
 	}
 }
 
@@ -213,19 +233,38 @@ func (s *AddrSpace) Mmap(name string, bytes uint64, thpEligible bool) *Region {
 func (s *AddrSpace) Regions() []*Region { return s.regions }
 
 // Resolve maps a virtual address to its region, or nil if unmapped space.
+// Regions are created at monotonically increasing addresses (Mmap), so
+// the slice is sorted by Start and a binary search finds the candidate.
 func (s *AddrSpace) Resolve(va uint64) *Region {
-	for _, r := range s.regions {
-		if va >= r.Start && va < r.Start+uint64(len(r.chunks))*uint64(mem.Size2M) {
-			return r
+	lo, hi := 0, len(s.regions)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.regions[mid].Start <= va {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
+	}
+	// lo is the first region starting beyond va; the candidate is the one
+	// before it.
+	if lo == 0 {
+		return nil
+	}
+	r := s.regions[lo-1]
+	if va < r.Start+uint64(len(r.chunks))*uint64(mem.Size2M) {
+		return r
 	}
 	return nil
 }
 
 // BeginEpoch rolls the lagged fault-contention estimate forward.
 func (s *AddrSpace) BeginEpoch() {
-	s.laggedFaulters = len(s.faultersThisEpoch)
-	s.faultersThisEpoch = make(map[int]struct{})
+	n := 0
+	for i, w := range s.faulterBits {
+		n += popcount64(w)
+		s.faulterBits[i] = 0
+	}
+	s.laggedFaulters = n
 }
 
 // FaultCycles returns the cumulative page-fault handler cycles charged to
@@ -261,34 +300,197 @@ type AccessResult struct {
 // Access performs one memory access by thread (pinned to core) at byte
 // offset off within r, faulting the page in if necessary and recording
 // ground-truth accounting at the mapping granularity.
+//
+// The mapped cases are the hot path (every priced access in steady state
+// lands here): one shift to find the chunk, one switch, and the
+// accounting update folded in, with no second state dispatch and no
+// allocation.
 func (r *Region) Access(core topo.CoreID, thread int, off uint64) AccessResult {
-	if off >= uint64(len(r.chunks))*uint64(mem.Size2M) {
+	ci := int(off >> chunkShift)
+	if ci >= len(r.chunks) {
 		panic(fmt.Sprintf("vm: offset %d beyond region %s (%d bytes)", off, r.Name, r.Bytes))
 	}
-	ci := int(off / uint64(mem.Size2M))
 	c := &r.chunks[ci]
-	s := r.Space
-	var res AccessResult
+	tbit := uint64(1) << uint(thread&63)
 	switch c.state {
-	case stateUnmapped:
-		res = s.fault(r, ci, core, off)
-		c = &r.chunks[ci] // fault may have rewritten chunk state
 	case state2M:
-		res = AccessResult{Node: c.node, PageSize: mem.Size2M, Page: PageID{r, ci, -1}}
+		c.accesses++
+		c.threadMask |= tbit
+		return AccessResult{Node: c.node, PageSize: mem.Size2M, Page: PageID{r, ci, -1}}
+	case state4K:
+		sub := int(off>>subShift) & (SubsPerChunk - 1)
+		if n := c.subNode[sub]; n != unmappedNode {
+			c.subAcc[sub]++
+			c.subMask[sub] |= tbit
+			c.accesses++ // chunk-level total kept for cheap region sums
+			return AccessResult{Node: topo.NodeID(n), PageSize: mem.Size4K, Page: PageID{r, ci, sub}}
+		}
 	case state1G:
 		head := &r.chunks[c.giantHead]
-		res = AccessResult{Node: head.node, PageSize: mem.Size1G, Page: PageID{r, c.giantHead, -1}}
-	case state4K:
-		sub := int(off % uint64(mem.Size2M) / uint64(mem.Size4K))
-		if c.subNode[sub] == unmappedNode {
-			res = s.fault(r, ci, core, off)
-			c = &r.chunks[ci]
-		} else {
-			res = AccessResult{Node: topo.NodeID(c.subNode[sub]), PageSize: mem.Size4K, Page: PageID{r, ci, sub}}
-		}
+		head.accesses++
+		head.threadMask |= tbit
+		return AccessResult{Node: head.node, PageSize: mem.Size1G, Page: PageID{r, c.giantHead, -1}}
 	}
+	res := r.Space.fault(r, ci, core, off)
 	r.recordAccess(ci, off, thread)
 	return res
+}
+
+// PeekStatus classifies the outcome of PeekRecord for the engine's
+// parallel pricing stage.
+type PeekStatus uint8
+
+const (
+	// PeekMapped: the page is mapped; the result is valid and accounting
+	// has been recorded.
+	PeekMapped PeekStatus = iota
+	// PeekUnmappedSub: a 4 KB slot of a split chunk is unmapped. Sub-level
+	// accounting has already been recorded (the mapping the fault will
+	// establish is exactly that slot); the caller prices the fault and
+	// defers only its mapping.
+	PeekUnmappedSub
+	// PeekUnmappedChunk: the whole chunk is unmapped; no accounting was
+	// recorded because its granularity depends on the fault's page-size
+	// decision — the caller must defer accounting to the replay stage.
+	PeekUnmappedChunk
+)
+
+// PeekRecord resolves off and records ground-truth access accounting for
+// mapped pages, so the engine's parallel pricing stage can run it
+// concurrently from many worker goroutines. With shared=true every
+// counter update is atomic; all updates commute (integer adds and
+// bit-ors), which keeps the final accounting byte-identical for any
+// interleaving — the determinism guarantee does not depend on worker
+// count. With shared=false (the pricing stage got a single worker, the
+// common case inside a saturated sweep) the same updates run as plain
+// operations, sparing the hot loop the locked-instruction cost. Mapping
+// mutations are never performed here: unmapped pages are reported via
+// the status and replayed later, in thread order, through ApplyFault and
+// RecordAccess.
+func (r *Region) PeekRecord(off uint64, thread int, shared bool) (AccessResult, PeekStatus) {
+	ci := int(off >> chunkShift)
+	if ci >= len(r.chunks) {
+		panic(fmt.Sprintf("vm: offset %d beyond region %s (%d bytes)", off, r.Name, r.Bytes))
+	}
+	c := &r.chunks[ci]
+	tbit := uint64(1) << uint(thread&63)
+	switch c.state {
+	case state2M:
+		if shared {
+			atomic.AddUint64(&c.accesses, 1)
+			atomicOr64(&c.threadMask, tbit)
+		} else {
+			c.accesses++
+			c.threadMask |= tbit
+		}
+		return AccessResult{Node: c.node, PageSize: mem.Size2M, Page: PageID{r, ci, -1}}, PeekMapped
+	case state4K:
+		sub := int(off>>subShift) & (SubsPerChunk - 1)
+		if shared {
+			atomic.AddUint32(&c.subAcc[sub], 1)
+			atomicOr64(&c.subMask[sub], tbit)
+			atomic.AddUint64(&c.accesses, 1)
+		} else {
+			c.subAcc[sub]++
+			c.subMask[sub] |= tbit
+			c.accesses++
+		}
+		if n := c.subNode[sub]; n != unmappedNode {
+			return AccessResult{Node: topo.NodeID(n), PageSize: mem.Size4K, Page: PageID{r, ci, sub}}, PeekMapped
+		}
+		return AccessResult{}, PeekUnmappedSub
+	case state1G:
+		head := &r.chunks[c.giantHead]
+		if shared {
+			atomic.AddUint64(&head.accesses, 1)
+			atomicOr64(&head.threadMask, tbit)
+		} else {
+			head.accesses++
+			head.threadMask |= tbit
+		}
+		return AccessResult{Node: head.node, PageSize: mem.Size1G, Page: PageID{r, c.giantHead, -1}}, PeekMapped
+	default:
+		return AccessResult{}, PeekUnmappedChunk
+	}
+}
+
+// atomicOr64 sets bits in *p atomically. The loaded pre-check makes the
+// saturating common case (bit already set) a plain read.
+func atomicOr64(p *uint64, bits uint64) {
+	for {
+		old := atomic.LoadUint64(p)
+		if old&bits == bits {
+			return
+		}
+		if atomic.CompareAndSwapUint64(p, old, old|bits) {
+			return
+		}
+	}
+}
+
+// PlanFault predicts, without mutating anything, the outcome of core
+// faulting at off right now: the backing page size after the policy and
+// eligibility rules, the first-touch home node, and the handler cost
+// under the current lagged lock contention. The physical-memory
+// fallback (a full node re-homing the page) is not predicted; the
+// deterministic replay in ApplyFault handles it.
+func (r *Region) PlanFault(core topo.CoreID, off uint64) (mem.PageSize, topo.NodeID, float64) {
+	ci := int(off >> chunkShift)
+	size := r.faultSize(ci)
+	node := r.Space.placeNode(core, size)
+	return size, node, r.Space.faultCost(size)
+}
+
+// faultSize applies the fault path's page-size rules for chunk ci.
+func (r *Region) faultSize(ci int) mem.PageSize {
+	s := r.Space
+	size := s.AllocSize(r, ci)
+	if size == mem.Size2M && !r.THPEligible {
+		size = mem.Size4K
+	}
+	if size == mem.Size1G {
+		// 1 GB backing is established explicitly via MapGiant (hugetlbfs
+		// semantics); a stray fault falls back to 4 KB.
+		size = mem.Size4K
+	}
+	c := &r.chunks[ci]
+	if size == mem.Size2M && c.state == state4K && c.mappedSubs() > 0 {
+		// A split chunk keeps 4 KB granularity; fault just the sub.
+		size = mem.Size4K
+	}
+	return size
+}
+
+// ApplyFault replays a fault priced earlier by PlanFault: it charges the
+// priced handler cost to core, marks it a faulter for the lagged
+// contention estimate, and — if the page is still unmapped — establishes
+// the mapping with first-touch placement. When another thread's replay
+// already mapped the page this is a minor fault: the handler time was
+// genuinely spent racing for the page-table lock, but the mapping is the
+// winner's.
+func (r *Region) ApplyFault(core topo.CoreID, off uint64, cost float64) {
+	s := r.Space
+	s.faultCyclesPerCore[core] += cost
+	s.markFaulter(core)
+	ci := int(off >> chunkShift)
+	c := &r.chunks[ci]
+	switch c.state {
+	case state2M, state1G:
+		return
+	case state4K:
+		sub := int(off>>subShift) & (SubsPerChunk - 1)
+		if c.subNode[sub] != unmappedNode {
+			return
+		}
+	}
+	s.mapPage(r, ci, core, off)
+}
+
+// RecordAccess records ground-truth accounting for a deferred access at
+// the page's current mapping granularity (the replay half of PeekRecord's
+// unmapped-chunk case).
+func (r *Region) RecordAccess(off uint64, thread int) {
+	r.recordAccess(int(off>>chunkShift), off, thread)
 }
 
 // recordAccess updates ground-truth counters at the current mapping
@@ -314,38 +516,36 @@ func (r *Region) recordAccess(ci int, off uint64, thread int) {
 
 // fault maps the page containing off, charging handler time to core.
 func (s *AddrSpace) fault(r *Region, ci int, core topo.CoreID, off uint64) AccessResult {
-	size := s.AllocSize(r, ci)
-	if size == mem.Size2M && !r.THPEligible {
-		size = mem.Size4K
-	}
-	if size == mem.Size1G {
-		// 1 GB backing is established explicitly via MapGiant (hugetlbfs
-		// semantics); a stray fault falls back to 4 KB.
-		size = mem.Size4K
-	}
+	res := s.mapPage(r, ci, core, off)
+	cost := s.faultCost(res.PageSize)
+	s.faultCyclesPerCore[core] += cost
+	s.markFaulter(core)
+	res.Faulted = true
+	res.FaultCycles = cost
+	return res
+}
+
+// mapPage establishes the mapping for the page containing off with
+// first-touch placement (the mutation half of fault, shared with the
+// deferred replay in ApplyFault).
+func (s *AddrSpace) mapPage(r *Region, ci int, core topo.CoreID, off uint64) AccessResult {
+	size := r.faultSize(ci)
 	node := s.placeNode(core, size)
 	c := &r.chunks[ci]
 	var res AccessResult
-	switch size {
-	case mem.Size2M:
-		if c.state == state4K && c.mappedSubs() > 0 {
-			// A split chunk keeps 4 KB granularity; fault just the sub.
-			size = mem.Size4K
-		} else {
-			c.state = state2M
-			c.node = node
-			res = AccessResult{Node: node, PageSize: mem.Size2M, Page: PageID{r, ci, -1}}
-			s.faultCount2M++
-			r.count2M++
-		}
-	}
-	if size == mem.Size4K {
+	if size == mem.Size2M {
+		c.state = state2M
+		c.node = node
+		res = AccessResult{Node: node, PageSize: mem.Size2M, Page: PageID{r, ci, -1}}
+		s.faultCount2M++
+		r.count2M++
+	} else {
 		c.ensureSubs()
 		if c.state == stateUnmapped {
 			c.state = state4K
 		}
-		sub := int(off % uint64(mem.Size2M) / uint64(mem.Size4K))
-		c.subNode[sub] = uint8(node)
+		sub := int(off>>subShift) & (SubsPerChunk - 1)
+		c.mapSub(sub, node)
 		res = AccessResult{Node: node, PageSize: mem.Size4K, Page: PageID{r, ci, sub}}
 		s.faultCount4K++
 		r.count4K++
@@ -360,11 +560,6 @@ func (s *AddrSpace) fault(r *Region, ci int, core topo.CoreID, off uint64) Acces
 		s.rehome(r, ci, res, alt)
 		res.Node = alt
 	}
-	cost := s.faultCost(res.PageSize)
-	s.faultCyclesPerCore[core] += cost
-	s.faultersThisEpoch[int(core)] = struct{}{}
-	res.Faulted = true
-	res.FaultCycles = cost
 	return res
 }
 
@@ -373,7 +568,7 @@ func (s *AddrSpace) rehome(r *Region, ci int, res AccessResult, node topo.NodeID
 	if res.Page.Sub < 0 {
 		c.node = node
 	} else {
-		c.subNode[res.Page.Sub] = uint8(node)
+		c.mapSub(res.Page.Sub, node)
 	}
 }
 
@@ -402,8 +597,10 @@ func (s *AddrSpace) FaultCostFor(size mem.PageSize) float64 { return s.faultCost
 
 // MarkFaulter records that core is taking (synthetic, churn) faults this
 // epoch so the lagged lock-contention estimate counts it.
-func (s *AddrSpace) MarkFaulter(core topo.CoreID) {
-	s.faultersThisEpoch[int(core)] = struct{}{}
+func (s *AddrSpace) MarkFaulter(core topo.CoreID) { s.markFaulter(core) }
+
+func (s *AddrSpace) markFaulter(core topo.CoreID) {
+	s.faulterBits[int(core)>>6] |= 1 << (uint(core) & 63)
 }
 
 // faultCost prices one fault including lagged lock contention.

@@ -23,6 +23,12 @@ type BuiltRegion struct {
 
 	// ownBlocks[t] lists the blocks thread t owns (PrivateBlocked only).
 	ownBlocks [][]uint64
+	// initPages[t] lists, in ascending order, the 4 KB pages thread t
+	// first-touches during the allocation phase. Materialized once at
+	// Build so NextAlloc is O(1): the cursor scan it replaces re-derived
+	// the owner of every page once per thread, which made the allocation
+	// phase O(pages × threads) and dominated whole-run profiles.
+	initPages [][]uint32
 	// ownerArr maps block → owner when ScatterBlocks: each group of T
 	// consecutive blocks is a seeded permutation of all T threads, so
 	// ownership is balanced but adjacent blocks belong to unrelated
@@ -115,6 +121,20 @@ func Build(spec Spec, space *vm.AddrSpace, m *topo.Machine) (*Instance, error) {
 	}
 	in.allocRegion = make([]int, threads)
 	in.allocPage = make([]uint64, threads)
+	for _, br := range in.Regions {
+		if br.Spec.SkipInit {
+			continue
+		}
+		br.initPages = make([][]uint32, threads)
+		hint := int(br.pages4K)/threads + 16 // ownership is near-balanced
+		for t := range br.initPages {
+			br.initPages[t] = make([]uint32, 0, hint)
+		}
+		for p := uint64(0); p < br.pages4K; p++ {
+			t := in.initThread(br, p)
+			br.initPages[t] = append(br.initPages[t], uint32(p))
+		}
+	}
 	in.streamPos = make([][]uint64, threads)
 	for t := range in.streamPos {
 		in.streamPos[t] = make([]uint64, len(in.Regions))
@@ -187,20 +207,16 @@ type AllocTouch struct {
 // NextAlloc returns thread t's next first-touch, or ok=false when t has
 // finished its share of the allocation phase. Regions are initialized in
 // declaration order by their statically assigned threads; the engine's
-// time-sliced rounds decide who reaches each 2 MB chunk first.
+// time-sliced rounds decide who reaches each 2 MB chunk first. The
+// cursor walks the thread's precomputed page list, so each call is O(1).
 func (in *Instance) NextAlloc(t int) (AllocTouch, bool) {
 	for in.allocRegion[t] < len(in.Regions) {
 		br := in.Regions[in.allocRegion[t]]
-		if br.Spec.SkipInit {
-			in.allocRegion[t]++
-			in.allocPage[t] = 0
-			continue
-		}
-		p := in.allocPage[t]
-		for ; p < br.pages4K; p++ {
-			if in.initThread(br, p) == t {
-				in.allocPage[t] = p + 1
-				return in.touch(br, p), true
+		if !br.Spec.SkipInit {
+			own := br.initPages[t]
+			if i := in.allocPage[t]; i < uint64(len(own)) {
+				in.allocPage[t] = i + 1
+				return in.touch(br, uint64(own[i])), true
 			}
 		}
 		in.allocRegion[t]++
