@@ -5,6 +5,7 @@
 //	BenchmarkTable1 .. BenchmarkTable3     — the three evaluation tables
 //	BenchmarkOverhead                      — §4.2 overhead assessment
 //	BenchmarkVeryLargePages                — §4.4 1 GB pages
+//	BenchmarkBeyond                        — page-table placement + 1G ladder
 //
 // Each reports headline reproduction numbers as custom metrics (e.g.
 // CG.D's THP degradation) alongside the usual ns/op. Ablation benchmarks
@@ -123,6 +124,13 @@ func BenchmarkVeryLargePages(b *testing.B) {
 	runExperiment(b, "verylarge", map[string]string{
 		"SSCA-1G-slowdown":          "A/SSCA.20/1g-slowdown",
 		"streamcluster-1G-slowdown": "A/streamcluster/1g-slowdown",
+	})
+}
+
+func BenchmarkBeyond(b *testing.B) {
+	runExperiment(b, "beyond", map[string]string{
+		"SSCA-A-Mitosis%": "A/SSCA.20/MitosisPTR/beyond-improvement",
+		"SSCA-A-Trident%": "A/SSCA.20/TridentLP/beyond-improvement",
 	})
 }
 

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCalibrateSmoke(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-machines", "A", "-workloads", "Kmeans", "-policies", "Linux4K,THP", "-scale", "0.02"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("calibrate exited %d: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "2 runs in") {
+		t.Fatalf("missing run count:\n%s", s)
+	}
+	for _, want := range []string{"workload", "Kmeans", "Linux4K", "THP"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("calibrate output missing %q:\n%s", want, s)
+		}
+	}
+	// Two result rows (one per policy) beyond the header.
+	if n := strings.Count(s, "Kmeans"); n != 2 {
+		t.Fatalf("result rows = %d, want 2:\n%s", n, s)
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-workloads", "nope", "-machines", "A", "-policies", "THP"}, &out, &errb); code != 1 {
+		t.Fatalf("unknown workload exited %d, want 1", code)
+	}
+	if code := run([]string{"-bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown flag exited %d, want 2", code)
+	}
+	if code := run([]string{"stray"}, &out, &errb); code != 2 {
+		t.Fatalf("positional arguments exited %d, want 2", code)
+	}
+	if code := run([]string{"-h"}, &out, &errb); code != 0 {
+		t.Fatalf("-h exited %d, want 0", code)
+	}
+}

@@ -13,17 +13,34 @@ import (
 	"repro/lpnuma"
 )
 
+// benchSchemaVersion identifies the benchReport JSON layout. Bump it on
+// any change to field meanings (fields may be added without a bump), so
+// BENCH_lpnuma.json files from different PRs are compared knowingly:
+//
+//	1 — original layout (implicit; no schema_version field)
+//	2 — adds schema_version, host goos/goarch, and the suite dimensions
+//	    (workloads/policies/experiments counts)
+const benchSchemaVersion = 2
+
 // benchReport is the machine-readable result of `lpnuma bench`, written
 // as JSON so successive PRs accumulate a perf trajectory
 // (BENCH_lpnuma.json in CI artifacts, or checked diffs locally).
 type benchReport struct {
-	Bench       string  `json:"bench"`
-	Scale       float64 `json:"scale"`
-	Seed        uint64  `json:"seed"`
-	Jobs        int     `json:"jobs"`
-	GOMAXPROCS  int     `json:"gomaxprocs"`
-	NumCPU      int     `json:"num_cpu"`
-	GoVersion   string  `json:"go_version"`
+	SchemaVersion int     `json:"schema_version"`
+	Bench         string  `json:"bench"`
+	Scale         float64 `json:"scale"`
+	Seed          uint64  `json:"seed"`
+	Jobs          int     `json:"jobs"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	NumCPU        int     `json:"num_cpu"`
+	GoVersion     string  `json:"go_version"`
+	GOOS          string  `json:"goos"`
+	GOARCH        string  `json:"goarch"`
+	// Suite dimensions: reports with different matrices are not
+	// comparable cell-for-cell even at the same scale.
+	Workloads   int     `json:"workloads"`
+	Policies    int     `json:"policies"`
+	NumExps     int     `json:"experiment_count"`
 	WallSeconds float64 `json:"wall_seconds"`
 	// Cells is the number of requested simulation cells, Runs the number
 	// actually executed after dedup — the pass's real unit of work.
@@ -62,13 +79,19 @@ func runBench(args []string, stdout, stderr io.Writer) error {
 	cfg := lpnuma.ExperimentConfig{Seed: *seed, WorkScale: *scale}
 	sched := lpnuma.NewScheduler(*jobs)
 	rep := benchReport{
-		Bench:      "lpnuma-all",
-		Scale:      *scale,
-		Seed:       *seed,
-		Jobs:       sched.Workers(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		GoVersion:  runtime.Version(),
+		SchemaVersion: benchSchemaVersion,
+		Bench:         "lpnuma-all",
+		Scale:         *scale,
+		Seed:          *seed,
+		Jobs:          sched.Workers(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		Workloads:     len(lpnuma.Workloads()),
+		Policies:      len(lpnuma.Policies()),
+		NumExps:       len(lpnuma.Experiments()),
 	}
 	start := time.Now()
 	var total runcache.Stats

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
@@ -132,6 +133,35 @@ func TestOutputFileProbe(t *testing.T) {
 	}
 	if _, err := os.Stat(outFile); !os.IsNotExist(err) {
 		t.Fatalf("failed pass left %s behind (stat err: %v)", outFile, err)
+	}
+}
+
+func TestBenchReportSchema(t *testing.T) {
+	outFile := filepath.Join(t.TempDir(), "BENCH.json")
+	var out, errb bytes.Buffer
+	if code := run([]string{"bench", "-scale", "0.01", "-o", outFile}, &out, &errb); code != 0 {
+		t.Fatalf("bench exited %d: %s", code, errb.String())
+	}
+	raw, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != benchSchemaVersion {
+		t.Fatalf("schema_version = %d, want %d", rep.SchemaVersion, benchSchemaVersion)
+	}
+	if rep.GOOS == "" || rep.GOARCH == "" || rep.GoVersion == "" {
+		t.Fatalf("host metadata missing: %+v", rep)
+	}
+	if rep.Workloads != len(lpnuma.Workloads()) || rep.Policies != len(lpnuma.Policies()) ||
+		rep.NumExps != len(lpnuma.Experiments()) {
+		t.Fatalf("suite dimensions wrong: %+v", rep)
+	}
+	if rep.Runs <= 0 || rep.Cells < rep.Runs || rep.CellsPerSecond <= 0 {
+		t.Fatalf("implausible accounting: %+v", rep)
 	}
 }
 

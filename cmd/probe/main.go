@@ -1,8 +1,15 @@
-// Command probe dumps per-node controller state for one run (diagnostics).
+// Command probe dumps per-node controller state and per-region access
+// distributions for one run (diagnostics).
+//
+// Usage:
+//
+//	probe -m A -w CG.D -p THP [-seed 1] [-scale 0.3]
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/policy"
@@ -14,13 +21,56 @@ import (
 )
 
 func main() {
-	m, _ := runner.MachineByName(os.Args[1])
-	spec, _ := workloads.ByName(os.Args[2])
-	pol, _ := policy.ByName(os.Args[3])
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus os.Exit so tests can drive it.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("probe", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	machine := fs.String("m", "A", "machine (A or B)")
+	workload := fs.String("w", "CG.D", "benchmark name")
+	pol := fs.String("p", "THP", "policy name")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	scale := fs.Float64("scale", 1.0, "work scale (<1 for quicker probes)")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() > 0 {
+		// Guard the pre-flag positional invocation style: silently
+		// probing the defaults would look like a valid answer.
+		fmt.Fprintf(stderr, "unexpected arguments %q (use -m/-w/-p flags)\n", fs.Args())
+		return 2
+	}
+	if err := probe(*machine, *workload, *pol, *seed, *scale, stdout); err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
+	}
+	return 0
+}
+
+func probe(machine, workload, polName string, seed uint64, scale float64, out io.Writer) error {
+	m, err := runner.MachineByName(machine)
+	if err != nil {
+		return err
+	}
+	spec, err := workloads.ByName(workload)
+	if err != nil {
+		return err
+	}
+	pol, err := policy.ByName(polName)
+	if err != nil {
+		return err
+	}
 	cfg := sim.DefaultConfig()
+	cfg.Seed = seed
+	cfg.WorkScale = scale
 	eng, err := sim.New(m, spec, pol, cfg)
 	if err != nil {
-		panic(err)
+		return err
 	}
 	res := eng.Run()
 	env := eng.Env()
@@ -29,9 +79,9 @@ func main() {
 	for _, v := range tot {
 		sum += v
 	}
-	fmt.Printf("%s %s: runtime %.2fs imbalance %.1f%% LAR %.1f%%\n", res.Workload, res.Policy, res.RuntimeSeconds, res.ImbalancePct, res.LARPct)
+	fmt.Fprintf(out, "%s %s: runtime %.2fs imbalance %.1f%% LAR %.1f%%\n", res.Workload, res.Policy, res.RuntimeSeconds, res.ImbalancePct, res.LARPct)
 	for n := 0; n < m.Nodes; n++ {
-		fmt.Printf("  node %d: reqShare %5.1f%%  lat %6.1f  util %5.2f\n",
+		fmt.Fprintf(out, "  node %d: reqShare %5.1f%%  lat %6.1f  util %5.2f\n",
 			n, tot[n]/sum*100, env.Phys.Latency(topo.NodeID(n)), env.Phys.Utilization(topo.NodeID(n)))
 	}
 	for _, br := range eng.Workload().Regions {
@@ -41,14 +91,18 @@ func main() {
 			counts[p.Node] += p.Accesses
 			acc += p.Accesses
 		})
-		fmt.Printf("  region %-14s accShare-by-node:", br.Spec.Name)
+		fmt.Fprintf(out, "  region %-14s accShare-by-node:", br.Spec.Name)
 		for n := 0; n < m.Nodes; n++ {
 			pct := 0.0
 			if acc > 0 {
 				pct = float64(counts[topo.NodeID(n)]) / float64(acc) * 100
 			}
-			fmt.Printf(" %5.1f", pct)
+			fmt.Fprintf(out, " %5.1f", pct)
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
+		if home, ok := br.VM.PTHome(); ok {
+			fmt.Fprintf(out, "  region %-14s page tables on node %d (%d bytes)\n", br.Spec.Name, home, br.VM.PTBytes())
+		}
 	}
+	return nil
 }

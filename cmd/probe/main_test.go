@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestProbeSmoke(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-m", "A", "-w", "Kmeans", "-p", "THP", "-scale", "0.02"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("probe exited %d: %s", code, errb.String())
+	}
+	for _, want := range []string{"Kmeans THP: runtime", "node 0:", "node 3:", "accShare-by-node", "page tables on node"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("probe output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestProbeErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-m", "Z"}, &out, &errb); code != 1 {
+		t.Fatalf("unknown machine exited %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "unknown machine") {
+		t.Fatalf("missing error message: %s", errb.String())
+	}
+	if code := run([]string{"-w", "nope", "-scale", "0.02"}, &out, &errb); code != 1 {
+		t.Fatalf("unknown workload exited %d, want 1", code)
+	}
+	if code := run([]string{"-p", "nope", "-scale", "0.02"}, &out, &errb); code != 1 {
+		t.Fatalf("unknown policy exited %d, want 1", code)
+	}
+	if code := run([]string{"-bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown flag exited %d, want 2", code)
+	}
+	// The pre-flag positional style must error, not probe the defaults.
+	if code := run([]string{"B", "UA.B", "Linux4K"}, &out, &errb); code != 2 {
+		t.Fatalf("positional arguments exited %d, want 2", code)
+	}
+	if code := run([]string{"-h"}, &out, &errb); code != 0 {
+		t.Fatalf("-h exited %d, want 0", code)
+	}
+}

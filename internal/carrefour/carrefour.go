@@ -71,9 +71,7 @@ type Carrefour struct {
 	Cfg Config
 
 	lastTick float64
-	prev     sim.Snapshot
-	win      sim.WindowScratch
-	havePrev bool
+	tel      sim.Telemetry
 
 	interleaved map[pageKey]bool
 
@@ -92,24 +90,22 @@ func (c *Carrefour) Stats() (migrations, interleaves, activations uint64) {
 	return c.migrations, c.interleaves, c.activations
 }
 
-// MaybeTick runs one decision interval if due and returns overhead cycles.
+// MaybeTick runs one decision interval if due and returns overhead
+// cycles; standalone use gathers its own telemetry (pipelines gate the
+// period themselves and hand a shared view to TickWith).
 func (c *Carrefour) MaybeTick(env *sim.Env, now float64) float64 {
 	if now-c.lastTick < c.Cfg.IntervalSeconds {
 		return 0
 	}
 	c.lastTick = now
-	snap := env.Snapshot()
-	samples := env.Sampler.Drain()
-	var w sim.WindowMetrics
-	if c.havePrev {
-		w = c.win.Window(c.prev, snap)
-	} else {
-		w = c.win.Window(sim.Snapshot{FaultCycles: make([]float64, len(snap.FaultCycles))}, snap)
-	}
-	c.prev = snap
-	c.havePrev = true
+	return c.TickWith(env, c.tel.Gather(env))
+}
 
-	overhead := c.Cfg.PassCycles + float64(len(samples))*c.Cfg.CyclesPerSample
+// TickWith runs one decision interval on an externally gathered
+// telemetry view.
+func (c *Carrefour) TickWith(env *sim.Env, v sim.View) float64 {
+	w := v.Window
+	overhead := c.Cfg.PassCycles + float64(len(v.Samples))*c.Cfg.CyclesPerSample
 	if w.MemIntensity < c.Cfg.MemIntensityMin {
 		return overhead
 	}
@@ -117,7 +113,7 @@ func (c *Carrefour) MaybeTick(env *sim.Env, now float64) float64 {
 		return overhead
 	}
 	c.activations++
-	overhead += c.Apply(env, samples)
+	overhead += c.Apply(env, v.Samples)
 	return overhead
 }
 

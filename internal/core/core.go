@@ -87,9 +87,7 @@ type LP struct {
 	thp *thp.THP
 
 	lastTick   float64
-	prev       sim.Snapshot
-	win        sim.WindowScratch
-	havePrev   bool
+	tel        sim.Telemetry
 	splitPages bool
 
 	splits     uint64
@@ -121,25 +119,21 @@ func (lp *LP) LastEstimates() (cur, carrefourOnly, split float64) {
 }
 
 // MaybeTick runs one Algorithm 1 interval if due, returning overhead
-// cycles.
+// cycles; standalone use gathers its own telemetry (line 3: hardware
+// performance counters and IBS samples). Pipelines gate the period
+// themselves and hand a shared view to TickWith.
 func (lp *LP) MaybeTick(env *sim.Env, now float64) float64 {
 	if now-lp.lastTick < lp.Cfg.IntervalSeconds {
 		return 0
 	}
 	lp.lastTick = now
+	return lp.TickWith(env, lp.tel.Gather(env))
+}
 
-	// Line 3: gather hardware performance counters and IBS samples.
-	snap := env.Snapshot()
-	samples := env.Sampler.Drain()
-	var w sim.WindowMetrics
-	if lp.havePrev {
-		w = lp.win.Window(lp.prev, snap)
-	} else {
-		w = lp.win.Window(sim.Snapshot{FaultCycles: make([]float64, len(snap.FaultCycles))}, snap)
-	}
-	lp.prev = snap
-	lp.havePrev = true
-
+// TickWith runs one Algorithm 1 interval on an externally gathered
+// telemetry view.
+func (lp *LP) TickWith(env *sim.Env, v sim.View) float64 {
+	w, samples := v.Window, v.Samples
 	overhead := lp.Car.Cfg.PassCycles + float64(len(samples))*lp.Car.Cfg.CyclesPerSample
 
 	if lp.Conservative && lp.thp != nil {

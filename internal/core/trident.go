@@ -1,0 +1,208 @@
+// Trident is the "beyond the paper" 4K/2M/1G ladder controller, after
+// Ram et al.'s Trident (with Carrefour-LP-style demotion). khugepaged
+// climbs the first rung (4 KB → 2 MB); every interval this daemon
+//
+//   - demotes 1 GB pages back to 2 MB when the sampled accesses say the
+//     page is NUMA-harmful — it is hot (Algorithm 1's line-19 rule lifted
+//     one level), or re-placing its data at 2 MB granularity promises a
+//     Carrefour-LP-style LAR gain;
+//   - promotes 1 GB-aligned spans that are fully 2 MB-mapped into 1 GB
+//     pages while page-walk pressure persists, gathering the span's
+//     chunks onto its dominant node (the very coalescing §4.4 of the
+//     paper warns about, which is what the demotion rule guards);
+//   - finally runs Carrefour's placement pass at whatever granularity
+//     pages now have.
+package core
+
+import (
+	"repro/internal/carrefour"
+	"repro/internal/ibs"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/thp"
+	"repro/internal/vm"
+)
+
+// TridentConfig tunes the ladder controller.
+type TridentConfig struct {
+	// IntervalSeconds is the decision period.
+	IntervalSeconds float64
+	// PromotePTWSharePct: spans are promoted to 1 GB only while the
+	// fraction of L2 misses from page-table walks exceeds this (the
+	// conservative component's signal, one rung up).
+	PromotePTWSharePct float64
+	// MaxPromotesPerInterval bounds 1 GB promotions per pass (each one
+	// copies up to 1 GB of data).
+	MaxPromotesPerInterval int
+	// DemoteGainPct demotes a shared 1 GB page when 2 MB-granularity
+	// placement promises at least this LAR improvement (Algorithm 1's
+	// split rule, applied to the top rung).
+	DemoteGainPct float64
+	// HotPagePct always demotes a 1 GB page receiving more than this
+	// share of sampled accesses (one page overloading one controller).
+	HotPagePct float64
+	// PromoteCooldownIntervals is how many intervals a freshly demoted
+	// span is barred from re-promotion, bounding the cost rate of a
+	// promote/demote oscillation on a span that stays NUMA-harmful.
+	PromoteCooldownIntervals int
+}
+
+// DefaultTridentConfig returns the evaluation calibration.
+func DefaultTridentConfig() TridentConfig {
+	return TridentConfig{
+		IntervalSeconds:          1.0,
+		PromotePTWSharePct:       5,
+		MaxPromotesPerInterval:   2,
+		DemoteGainPct:            5,
+		HotPagePct:               12,
+		PromoteCooldownIntervals: 4,
+	}
+}
+
+// Trident is the ladder daemon. It owns a Carrefour instance for the
+// placement pass, like the LP controller.
+type Trident struct {
+	Cfg TridentConfig
+	Car *carrefour.Carrefour
+
+	thp *thp.THP
+
+	lastTick float64
+	tel      sim.Telemetry
+	// tick counts TickWith passes; coolUntil bars a demoted span
+	// (keyed by region ID and head chunk) from re-promotion until the
+	// recorded tick, so a span that stays NUMA-harmful oscillates at
+	// most once per cooldown instead of every other interval.
+	tick      int
+	coolUntil map[spanKey]int
+
+	promotes uint64
+	demotes  uint64
+}
+
+// spanKey names one 1 GB-aligned span for the promotion cooldown.
+type spanKey struct {
+	region int
+	head   int
+}
+
+// NewTrident builds a ladder controller.
+func NewTrident(cfg TridentConfig, car *carrefour.Carrefour) *Trident {
+	return &Trident{Cfg: cfg, Car: car, lastTick: -1e18, coolUntil: make(map[spanKey]int)}
+}
+
+// Bind attaches the THP subsystem (the ladder's lower rung).
+func (tr *Trident) Bind(t *thp.THP) { tr.thp = t }
+
+// Stats reports cumulative ladder decisions.
+func (tr *Trident) Stats() (promotes, demotes uint64) { return tr.promotes, tr.demotes }
+
+// MaybeTick runs one interval if due, gathering its own telemetry.
+func (tr *Trident) MaybeTick(env *sim.Env, now float64) float64 {
+	if now-tr.lastTick < tr.Cfg.IntervalSeconds {
+		return 0
+	}
+	tr.lastTick = now
+	return tr.TickWith(env, tr.tel.Gather(env))
+}
+
+// TickWith runs one interval on an externally gathered telemetry view.
+func (tr *Trident) TickWith(env *sim.Env, v sim.View) float64 {
+	tr.tick++
+	overhead := tr.Car.Cfg.PassCycles + float64(len(v.Samples))*tr.Car.Cfg.CyclesPerSample
+	overhead += tr.demote(env, v.Samples)
+	if v.Window.PTWSharePct > tr.Cfg.PromotePTWSharePct {
+		overhead += tr.promote(env)
+	}
+	// Placement at the current granularity (Carrefour skips 1 GB pages:
+	// they are not migratable, which is exactly why demotion exists).
+	overhead += tr.Car.Apply(env, rebind(v.Samples))
+	return overhead
+}
+
+// demote splits NUMA-harmful 1 GB pages down to 2 MB.
+func (tr *Trident) demote(env *sim.Env, samples []ibs.Sample) float64 {
+	groups := carrefour.GroupSamples(samples, env.Machine.Nodes)
+	var total float64
+	any := false
+	for i := range groups {
+		total += groups[i].Weight
+		if isGiant(groups[i].Page) {
+			any = true
+		}
+	}
+	if !any || total <= 0 {
+		return 0
+	}
+	// The LP-style what-if: current LAR vs LAR after re-placing data at
+	// 2 MB granularity (remap every sample onto its 2 MB chunk).
+	cur := sampledLAR(groups)
+	twoM := estimatePlacementLAR(carrefour.GroupSamples(remapTo2M(samples), env.Machine.Nodes), env.Machine.Nodes)
+	splitGain := twoM-cur > tr.Cfg.DemoteGainPct
+
+	var cycles float64
+	for i := range groups {
+		g := &groups[i]
+		if !isGiant(g.Page) {
+			continue
+		}
+		hot := g.Weight/total*100 > tr.Cfg.HotPagePct
+		shared := g.Threads() >= 2
+		if !hot && !(splitGain && shared) {
+			continue
+		}
+		if cyc, ok := g.Page.Region.SplitGiant(g.Page.Chunk, env.Costs); ok {
+			cycles += cyc
+			tr.demotes++
+			// A freshly demoted span must not bounce straight back up.
+			tr.coolUntil[spanKey{g.Page.Region.ID, g.Page.Chunk}] = tr.tick + tr.Cfg.PromoteCooldownIntervals
+		}
+	}
+	return cycles
+}
+
+// promote climbs fully 2 MB-mapped, 1 GB-aligned spans onto the top
+// rung, in region/span order (deterministic), skipping spans still in
+// their post-demotion cooldown.
+func (tr *Trident) promote(env *sim.Env) float64 {
+	var cycles float64
+	promoted := 0
+	for _, r := range env.Space.Regions() {
+		if !r.THPEligible {
+			continue
+		}
+		for head := 0; head < r.NumChunks(); head += vm.ChunksPerGiant {
+			if promoted >= tr.Cfg.MaxPromotesPerInterval {
+				return cycles
+			}
+			if tr.tick < tr.coolUntil[spanKey{r.ID, head}] {
+				continue
+			}
+			if cyc, ok := r.PromoteGiant(head, env.Costs); ok {
+				cycles += cyc
+				promoted++
+				tr.promotes++
+			}
+		}
+	}
+	return cycles
+}
+
+// isGiant reports whether a sampled page group is a 1 GB page.
+func isGiant(p vm.PageID) bool {
+	return p.Sub < 0 && p.Region.ChunkInfo(p.Chunk).State == vm.Mapped1G
+}
+
+// remapTo2M rewrites samples onto their 2 MB chunks, the what-if view
+// "if the 1 GB pages were demoted" (the reactive component's §3.2.1
+// trick, one level up; it inherits the same sample-scarcity caveat).
+func remapTo2M(samples []ibs.Sample) []ibs.Sample {
+	out := make([]ibs.Sample, len(samples))
+	for i, s := range samples {
+		if isGiant(s.Page) {
+			s.Page = vm.PageID{Region: s.Page.Region, Chunk: int(s.Off / uint64(mem.Size2M)), Sub: -1}
+		}
+		out[i] = s
+	}
+	return out
+}

@@ -18,12 +18,12 @@ func TestByIDUnknown(t *testing.T) {
 
 func TestIDsComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 10 {
-		t.Fatalf("experiments = %d, want 10 (5 figures, 3 tables, overhead, verylarge)", len(ids))
+	if len(ids) != 11 {
+		t.Fatalf("experiments = %d, want 11 (5 figures, 3 tables, overhead, verylarge, beyond)", len(ids))
 	}
 	for _, id := range ids {
 		found := false
-		for _, want := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "table1", "table2", "table3", "overhead", "verylarge"} {
+		for _, want := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "table1", "table2", "table3", "overhead", "verylarge", "beyond"} {
 			if id == want {
 				found = true
 			}
@@ -31,6 +31,34 @@ func TestIDsComplete(t *testing.T) {
 		if !found {
 			t.Fatalf("unexpected experiment id %q", id)
 		}
+	}
+}
+
+// TestBeyondShape asserts the beyond section covers all three
+// beyond-the-paper policies on both machines with deterministic
+// improvement values over the PTBaseline control.
+func TestBeyondShape(t *testing.T) {
+	res, err := Beyond(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"machine A", "machine B", "MitosisPTR", "NumaPTEMig", "TridentLP", "PTBaseline"} {
+		if !strings.Contains(res.Text, want) {
+			t.Fatalf("beyond section missing %q:\n%s", want, res.Text)
+		}
+	}
+	for _, m := range []string{"A", "B"} {
+		for _, p := range []string{"MitosisPTR", "NumaPTEMig", "TridentLP"} {
+			if _, ok := res.Values[m+"/CG.D/"+p+"/beyond-improvement"]; !ok {
+				t.Fatalf("missing beyond-improvement for %s/%s", m, p)
+			}
+		}
+	}
+	// Replicated page tables never pay a remote walk, so on the
+	// TLB-pressured SSCA workload Mitosis must not lose to first-touch
+	// page tables by more than noise.
+	if v := res.Values["A/SSCA.20/MitosisPTR/beyond-improvement"]; v < -2 {
+		t.Fatalf("MitosisPTR loses %.1f%% on SSCA.20/A, want >= -2", v)
 	}
 }
 
@@ -144,7 +172,7 @@ func TestSharedSchedulerReusesCells(t *testing.T) {
 // TestOutputIdenticalAcrossWorkerCounts asserts the acceptance
 // criterion: experiment output is byte-identical for any -j.
 func TestOutputIdenticalAcrossWorkerCounts(t *testing.T) {
-	ids := []string{"fig5", "table2", "verylarge"}
+	ids := []string{"fig5", "table2", "verylarge", "beyond"}
 	render := func(workers int) string {
 		sched := runcache.New(workers)
 		var b strings.Builder

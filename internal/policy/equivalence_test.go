@@ -1,0 +1,105 @@
+package policy
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/workloads"
+)
+
+// equivSpec exercises every daemon decision path: a hot shared region
+// (hot-page splits, placement), a private region (locality), and a
+// churny shared region (fault pressure for the conservative component),
+// run long enough for several 1 s daemon intervals.
+func equivSpec() workloads.Spec {
+	return workloads.Spec{
+		Name: "equiv",
+		Regions: []workloads.RegionSpec{
+			{Name: "hot", Bytes: 96 << 20, Weight: 0.5, Loc: cache.ZipfHot,
+				HotFrac: 0.02, HotAccessFrac: 0.7, DRAMFloor: 0.4,
+				Sharing: workloads.SharedAll, Init: workloads.InitStriped, InitTouchWeight: 32},
+			{Name: "priv", Bytes: 128 << 20, Weight: 0.35, Loc: cache.RandomUniform,
+				Sharing: workloads.PrivateBlocked, Init: workloads.InitOwner, InitTouchWeight: 32,
+				HaloFrac: 0.05, HaloBytes: 4096},
+			{Name: "churn", Bytes: 64 << 20, Weight: 0.15, Loc: cache.RandomUniform,
+				DRAMFloor: 0.3, Sharing: workloads.SharedAll, Init: workloads.InitStriped,
+				InitTouchWeight: 32, ChurnPer1K: 1, ChurnTHPFrac: 0.5},
+		},
+		WorkPerThread:        6e7,
+		ExtraCyclesPerAccess: 4,
+		MLPOverlap:           0.6,
+	}
+}
+
+// TestPipelineMatchesLegacyByteIdentical is the refactor's
+// behavior-preservation contract: for each of the paper's seven
+// configurations, the composable pipeline must produce a sim.Result
+// byte-identical to the frozen monolithic implementation in
+// legacy_ref_test.go — the same invariant style as the worker-count
+// determinism test. (The full-scale EXPERIMENTS.md regeneration is the
+// end-to-end version of this check.)
+func TestPipelineMatchesLegacyByteIdentical(t *testing.T) {
+	for _, name := range PaperNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			run := func(pol sim.OS) sim.Result {
+				cfg := sim.DefaultConfig()
+				eng, err := sim.New(topo.MachineA(), equivSpec(), pol, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return eng.Run()
+			}
+			legacy, err := legacyByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pipeline, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := run(legacy)
+			got := run(pipeline)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("pipeline result differs from legacy:\nlegacy:   %+v\npipeline: %+v", want, got)
+			}
+		})
+	}
+}
+
+// TestBeyondPoliciesDiffer guards against the inverse failure: the
+// page-table-aware pipelines must NOT be result-identical to plain THP
+// (if they were, the new pricing would be dead code).
+func TestBeyondPoliciesDiffer(t *testing.T) {
+	run := func(name string) sim.Result {
+		pol, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := sim.DefaultConfig()
+		eng, err := sim.New(topo.MachineA(), equivSpec(), pol, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng.Run()
+	}
+	lin := run("Linux4K")
+	base := run("PTBaseline")
+	if lin.RuntimeSeconds == base.RuntimeSeconds && lin.Counters == base.Counters {
+		t.Fatal("PTBaseline is identical to Linux4K: page-table pricing is dead")
+	}
+	if base.RuntimeSeconds <= lin.RuntimeSeconds {
+		t.Fatalf("pricing remote page tables should cost time: %.3fs vs %.3fs",
+			base.RuntimeSeconds, lin.RuntimeSeconds)
+	}
+	// Replication removes every remote-walk surcharge, so it must not be
+	// slower than first-touch page tables on this multi-node workload.
+	mit := run("MitosisPTR")
+	if mit.RuntimeSeconds > base.RuntimeSeconds*1.02 {
+		t.Fatalf("MitosisPTR (%.3fs) should not lose to PTBaseline (%.3fs)",
+			mit.RuntimeSeconds, base.RuntimeSeconds)
+	}
+}

@@ -1,4 +1,9 @@
-// Package policy assembles the OS configurations the paper evaluates:
+// Package policy assembles OS configurations as pipelines of composable
+// mechanisms (page-size manager, placement daemon, LP controller,
+// page-table placement — see pipeline.go and mechanisms.go).
+//
+// The paper's seven configurations are declarative Specs over those
+// mechanisms:
 //
 //	Linux4K      — default Linux with 4 KB pages (the baseline all
 //	               figures normalize to)
@@ -11,6 +16,22 @@
 //	               (Figure 4's "Reactive")
 //	CarrefourLP  — the full Algorithm 1 (§3.2)
 //	HugeTLB1G    — 1 GB pages established up front via hugetlbfs (§4.4)
+//
+// Four more pipelines go beyond the paper, attacking the NUMA blind spot
+// the paper leaves open — where the page tables themselves live — and
+// the multi-size ladder of later work:
+//
+//	PTBaseline   — 4 KB pages under NUMA-aware page-table pricing with
+//	               first-touch page tables; the control the next three
+//	               compare to
+//	MitosisPTR   — page-table replication on every node (Mitosis,
+//	               Achermann et al.): local walks, paid for by a
+//	               replica-update cost on every fault
+//	NumaPTEMig   — page-table migration to the dominant accessor node
+//	               when page-walk pressure crosses a threshold
+//	TridentLP    — a 4K/2M/1G page-size ladder with Carrefour-LP-style
+//	               demotion (Trident, Ram et al.), under the same
+//	               page-table pricing
 package policy
 
 import (
@@ -20,151 +41,205 @@ import (
 	"repro/internal/carrefour"
 	"repro/internal/core"
 	"repro/internal/sim"
-	"repro/internal/thp"
-	"repro/internal/topo"
-	"repro/internal/vm"
 )
 
-// osPolicy is the shared implementation of sim.OS.
-type osPolicy struct {
-	name string
-
-	attachTHP bool // run a THP subsystem at all
-	thpOn     bool // start with 2 MB allocation+promotion enabled
-	carrefour bool // run the plain Carrefour daemon
-	lpCons    bool // Carrefour-LP conservative component
-	lpReact   bool // Carrefour-LP reactive component
-	giant1G   bool // map every region with 1 GB pages at setup
-
-	thpSys *thp.THP
-	car    *carrefour.Carrefour
-	lp     *core.LP
+// PageSizeSpec declares the page-size manager: a THP subsystem whose
+// allocation/promotion switches start at Start2M.
+type PageSizeSpec struct {
+	Start2M bool
 }
 
-// Name implements sim.OS.
-func (p *osPolicy) Name() string { return p.name }
+// LPSpec declares the Carrefour-LP controller's enabled components.
+type LPSpec struct {
+	Conservative bool
+	Reactive     bool
+}
 
-// Setup implements sim.OS.
-func (p *osPolicy) Setup(env *sim.Env) {
-	if p.attachTHP {
-		cfg := thp.DefaultConfig()
-		cfg.AllocEnabled = p.thpOn
-		cfg.PromoteEnabled = p.thpOn
-		p.thpSys = thp.New(env.Space, cfg, env.Costs)
-		env.THP = p.thpSys
+// PageTableSpec declares a page-table placement scheme. Declaring one
+// also switches the engine to NUMA-aware walk pricing, so pipelines
+// with and without a PageTableSpec are not directly comparable.
+type PageTableSpec struct {
+	Mode PTMode
+	// Migrate-mode thresholds (zero values take the defaults below).
+	WalkSharePct    float64
+	MinGainPct      float64
+	IntervalSeconds float64
+}
+
+// Migrate-mode defaults: act on ≥2% walk share (well below the
+// conservative component's 5% alarm threshold — moving page tables is
+// far cheaper than toggling page sizes) and require the move to cut the
+// sampled accessors' expected walk fabric latency by 10%.
+const (
+	defaultPTWalkSharePct = 2
+	defaultPTMinGainPct   = 10
+	defaultPTIntervalSec  = 1.0
+)
+
+// Spec declares one named policy as a composition of mechanisms. Nil or
+// false fields leave the mechanism out; the zero Spec is default Linux.
+type Spec struct {
+	Name string
+	// PageSize attaches the THP subsystem (nil: pure 4 KB faults).
+	PageSize *PageSizeSpec
+	// Giant1G reserves 1 GB pages for every region at setup.
+	Giant1G bool
+	// Carrefour runs the standalone placement daemon.
+	Carrefour bool
+	// LP runs the Carrefour-LP controller (which owns its Carrefour).
+	LP *LPSpec
+	// PageTables applies a page-table placement scheme.
+	PageTables *PageTableSpec
+	// Trident runs the 4K/2M/1G ladder controller.
+	Trident bool
+}
+
+// Build assembles the declared mechanisms into a Pipeline, in canonical
+// order: page-size management first (so later mechanisms can bind its
+// switches), then setup-only mappings, then the placement/controller
+// daemons, then page-table placement.
+func Build(spec Spec) *Pipeline {
+	var mechs []Mechanism
+	if spec.PageSize != nil {
+		mechs = append(mechs, pageSize{start2M: spec.PageSize.Start2M})
 	}
-	if p.carrefour || p.lpCons || p.lpReact {
-		p.car = carrefour.New(carrefour.DefaultConfig())
+	if spec.Giant1G {
+		mechs = append(mechs, giantPages{})
 	}
-	if p.lpCons || p.lpReact {
-		p.lp = core.New(core.DefaultConfig(), p.car)
-		p.lp.Conservative = p.lpCons
-		p.lp.Reactive = p.lpReact
-		p.lp.Bind(p.thpSys)
+	if spec.Carrefour {
+		mechs = append(mechs, placement{cfg: carrefour.DefaultConfig()})
 	}
-	if p.giant1G {
-		// hugetlbfs semantics: the gigantic pool is reserved up front
-		// from the master's node, before any worker touches memory.
-		node := env.Machine.NodeOf(0)
-		for _, r := range env.Space.Regions() {
-			for head := 0; head < r.NumChunks(); head += vm.ChunksPerGiant {
-				if err := r.MapGiant(head, node); err != nil {
-					// Pool exhausted on the node: fall back to other
-					// nodes, like a multi-node pool reservation.
-					fallback := false
-					for n := 0; n < env.Machine.Nodes; n++ {
-						if err := r.MapGiant(head, topo.NodeID(n)); err == nil {
-							fallback = true
-							break
-						}
-					}
-					if !fallback {
-						panic(fmt.Sprintf("policy: cannot reserve 1G page for %s: %v", r.Name, err))
-					}
-				}
-			}
+	if spec.LP != nil {
+		mechs = append(mechs, lpControl{conservative: spec.LP.Conservative, reactive: spec.LP.Reactive})
+	}
+	if spec.Trident {
+		mechs = append(mechs, tridentLadder{cfg: core.DefaultTridentConfig()})
+	}
+	if spec.PageTables != nil {
+		pt := *spec.PageTables
+		if pt.WalkSharePct == 0 {
+			pt.WalkSharePct = defaultPTWalkSharePct
+		}
+		if pt.MinGainPct == 0 {
+			pt.MinGainPct = defaultPTMinGainPct
+		}
+		if pt.IntervalSeconds == 0 {
+			pt.IntervalSeconds = defaultPTIntervalSec
+		}
+		mechs = append(mechs, pageTables{
+			mode:            pt.Mode,
+			walkSharePct:    pt.WalkSharePct,
+			minGainPct:      pt.MinGainPct,
+			intervalSeconds: pt.IntervalSeconds,
+		})
+	}
+	return NewPipeline(spec.Name, mechs...)
+}
+
+// specs lists every named policy in declaration order (Names sorts).
+func specs() []Spec {
+	thpOn := &PageSizeSpec{Start2M: true}
+	return []Spec{
+		{Name: "Linux4K"},
+		{Name: "THP", PageSize: thpOn},
+		{Name: "Carrefour2M", PageSize: thpOn, Carrefour: true},
+		{Name: "Conservative", PageSize: &PageSizeSpec{}, LP: &LPSpec{Conservative: true}},
+		{Name: "Reactive", PageSize: thpOn, LP: &LPSpec{Reactive: true}},
+		{Name: "CarrefourLP", PageSize: thpOn, LP: &LPSpec{Conservative: true, Reactive: true}},
+		{Name: "HugeTLB1G", Giant1G: true},
+		// The page-table suite runs on 4 KB pages, where walks are
+		// frequent enough for page-table placement to matter (Mitosis
+		// reports its largest wins in 4 KB mode for the same reason);
+		// TridentLP instead climbs the page-size ladder from THP's 2 MB
+		// rung under the same pricing.
+		{Name: "PTBaseline", PageTables: &PageTableSpec{Mode: PTFirstTouch}},
+		{Name: "MitosisPTR", PageTables: &PageTableSpec{Mode: PTReplicate}},
+		{Name: "NumaPTEMig", PageTables: &PageTableSpec{Mode: PTMigrate}},
+		{Name: "TridentLP", PageSize: thpOn, Trident: true, PageTables: &PageTableSpec{Mode: PTFirstTouch}},
+	}
+}
+
+// SpecByName returns the declarative spec of a named policy.
+func SpecByName(name string) (Spec, error) {
+	for _, s := range specs() {
+		if s.Name == name {
+			return s, nil
 		}
 	}
+	return Spec{}, fmt.Errorf("policy: unknown policy %q", name)
 }
-
-// Tick implements sim.OS.
-func (p *osPolicy) Tick(env *sim.Env, now float64) float64 {
-	var overhead float64
-	if p.thpSys != nil {
-		overhead += p.thpSys.RunPromotionPass()
-	}
-	switch {
-	case p.lp != nil:
-		overhead += p.lp.MaybeTick(env, now)
-	case p.car != nil:
-		overhead += p.car.MaybeTick(env, now)
-	}
-	return overhead
-}
-
-// LP exposes the Carrefour-LP daemon (tests inspect its decisions).
-func (p *osPolicy) LP() *core.LP { return p.lp }
-
-// Carrefour exposes the placement daemon.
-func (p *osPolicy) Carrefour() *carrefour.Carrefour { return p.car }
-
-// THP exposes the THP subsystem.
-func (p *osPolicy) THP() *thp.THP { return p.thpSys }
 
 // Linux4K is default Linux with 4 KB pages.
-func Linux4K() sim.OS { return &osPolicy{name: "Linux4K"} }
+func Linux4K() sim.OS { return mustBuild("Linux4K") }
 
 // THP is Linux with Transparent Huge Pages enabled.
-func THP() sim.OS { return &osPolicy{name: "THP", attachTHP: true, thpOn: true} }
+func THP() sim.OS { return mustBuild("THP") }
 
 // Carrefour2M is THP plus Carrefour page placement.
-func Carrefour2M() sim.OS {
-	return &osPolicy{name: "Carrefour2M", attachTHP: true, thpOn: true, carrefour: true}
-}
+func Carrefour2M() sim.OS { return mustBuild("Carrefour2M") }
 
 // Conservative is 4 KB Carrefour plus only the conservative component.
-func Conservative() sim.OS {
-	return &osPolicy{name: "Conservative", attachTHP: true, thpOn: false, lpCons: true}
-}
+func Conservative() sim.OS { return mustBuild("Conservative") }
 
 // Reactive is THP plus Carrefour plus only the reactive component.
-func Reactive() sim.OS {
-	return &osPolicy{name: "Reactive", attachTHP: true, thpOn: true, lpReact: true}
-}
+func Reactive() sim.OS { return mustBuild("Reactive") }
 
 // CarrefourLP is the full Algorithm 1.
-func CarrefourLP() sim.OS {
-	return &osPolicy{name: "CarrefourLP", attachTHP: true, thpOn: true, lpCons: true, lpReact: true}
-}
+func CarrefourLP() sim.OS { return mustBuild("CarrefourLP") }
 
 // HugeTLB1G reserves 1 GB pages for every region up front (§4.4).
-func HugeTLB1G() sim.OS { return &osPolicy{name: "HugeTLB1G", giant1G: true} }
+func HugeTLB1G() sim.OS { return mustBuild("HugeTLB1G") }
+
+// PTBaseline is 4 KB pages under NUMA-aware page-table pricing with
+// first-touch page tables: the control the beyond-the-paper page-table
+// policies are measured against.
+func PTBaseline() sim.OS { return mustBuild("PTBaseline") }
+
+// MitosisPTR replicates page tables on every node.
+func MitosisPTR() sim.OS { return mustBuild("MitosisPTR") }
+
+// NumaPTEMig migrates page tables to the dominant accessor node.
+func NumaPTEMig() sim.OS { return mustBuild("NumaPTEMig") }
+
+// TridentLP runs the 4K/2M/1G ladder with Carrefour-LP-style demotion.
+func TridentLP() sim.OS { return mustBuild("TridentLP") }
+
+func mustBuild(name string) *Pipeline {
+	spec, err := SpecByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return Build(spec)
+}
 
 // ByName constructs a fresh policy instance by name.
 func ByName(name string) (sim.OS, error) {
-	switch name {
-	case "Linux4K":
-		return Linux4K(), nil
-	case "THP":
-		return THP(), nil
-	case "Carrefour2M":
-		return Carrefour2M(), nil
-	case "Conservative":
-		return Conservative(), nil
-	case "Reactive":
-		return Reactive(), nil
-	case "CarrefourLP":
-		return CarrefourLP(), nil
-	case "HugeTLB1G":
-		return HugeTLB1G(), nil
-	default:
-		return nil, fmt.Errorf("policy: unknown policy %q", name)
+	spec, err := SpecByName(name)
+	if err != nil {
+		return nil, err
 	}
+	return Build(spec), nil
 }
 
-// Names lists all policies.
+// Names lists all policies, sorted.
 func Names() []string {
+	all := specs()
+	out := make([]string, len(all))
+	for i, s := range all {
+		out[i] = s.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PaperNames lists the seven configurations the paper evaluates, sorted.
+func PaperNames() []string {
 	out := []string{"Linux4K", "THP", "Carrefour2M", "Conservative", "Reactive", "CarrefourLP", "HugeTLB1G"}
 	sort.Strings(out)
 	return out
+}
+
+// BeyondNames lists the beyond-the-paper pipelines, baseline first.
+func BeyondNames() []string {
+	return []string{"PTBaseline", "MitosisPTR", "NumaPTEMig", "TridentLP"}
 }

@@ -4,10 +4,11 @@ import (
 	"testing"
 
 	"repro/internal/cache"
+	"repro/internal/ibs"
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/topo"
-
+	"repro/internal/vm"
 	"repro/internal/workloads"
 )
 
@@ -71,7 +72,7 @@ func TestTHPPolicyBacks2M(t *testing.T) {
 }
 
 func TestConservativeStartsSmall(t *testing.T) {
-	pol := Conservative().(*osPolicy)
+	pol := Conservative().(*Pipeline)
 	env := setup(t, pol)
 	if env.THP == nil {
 		t.Fatal("Conservative needs a THP subsystem (to enable later)")
@@ -85,7 +86,7 @@ func TestConservativeStartsSmall(t *testing.T) {
 }
 
 func TestReactiveStartsLarge(t *testing.T) {
-	pol := Reactive().(*osPolicy)
+	pol := Reactive().(*Pipeline)
 	env := setup(t, pol)
 	if !env.THP.AllocEnabled() {
 		t.Fatal("Reactive must start with 2M pages (Algorithm 1 line 1)")
@@ -96,7 +97,7 @@ func TestReactiveStartsLarge(t *testing.T) {
 }
 
 func TestCarrefourLPHasBothComponents(t *testing.T) {
-	pol := CarrefourLP().(*osPolicy)
+	pol := CarrefourLP().(*Pipeline)
 	env := setup(t, pol)
 	if !env.THP.AllocEnabled() || !env.THP.PromoteEnabled() {
 		t.Fatal("Carrefour-LP starts with allocation and promotion enabled")
@@ -111,7 +112,7 @@ func TestCarrefourLPHasBothComponents(t *testing.T) {
 }
 
 func TestCarrefour2MHasOnlyPlacement(t *testing.T) {
-	pol := Carrefour2M().(*osPolicy)
+	pol := Carrefour2M().(*Pipeline)
 	setup(t, pol)
 	if pol.LP() != nil {
 		t.Fatal("Carrefour2M must not run LP components")
@@ -138,8 +139,104 @@ func TestHugeTLB1GMapsEverything(t *testing.T) {
 	}
 }
 
+func TestMitosisReplicatesPageTables(t *testing.T) {
+	env := setup(t, MitosisPTR())
+	if env.PageTables == nil || !env.PageTables.Replicated {
+		t.Fatal("MitosisPTR must enable replicated page-table pricing")
+	}
+	if env.Space.PTReplicas != env.Machine.Nodes {
+		t.Fatalf("PTReplicas = %d, want %d", env.Space.PTReplicas, env.Machine.Nodes)
+	}
+}
+
+func TestPTBaselineEnablesPricingOnly(t *testing.T) {
+	env := setup(t, PTBaseline())
+	if env.PageTables == nil || env.PageTables.Replicated {
+		t.Fatal("PTBaseline must price first-touch page tables, unreplicated")
+	}
+	if env.Space.PTReplicas != 0 {
+		t.Fatal("PTBaseline must not replicate")
+	}
+	if env.THP != nil {
+		t.Fatal("PTBaseline runs on 4 KB pages (where walks are frequent enough to price)")
+	}
+}
+
+func TestNumaPTEMigMigratesOnPressure(t *testing.T) {
+	pol := NumaPTEMig().(*Pipeline)
+	env := setup(t, pol)
+	if env.PageTables == nil || env.PageTables.Replicated {
+		t.Fatal("NumaPTEMig prices unreplicated page tables")
+	}
+	r := env.Space.Regions()[0]
+	// First fault from core 0 homes the page tables on node 0.
+	r.Access(0, 0, 0)
+	if home, ok := r.PTHome(); !ok || home != 0 {
+		t.Fatalf("PT home = %v,%v, want node 0", home, ok)
+	}
+	// Every sampled access comes from node 2 cores (machine A: cores
+	// 12-17), so node 2 dominates the accessor distribution.
+	var samples []ibs.Sample
+	for i := 0; i < 32; i++ {
+		samples = append(samples, ibs.Sample{
+			Page: vm.PageID{Region: r, Chunk: 0, Sub: 0}, Off: 0,
+			Thread: 12, Core: 12, AccessorNode: 2, HomeNode: 0,
+			DRAM: true, Weight: 1,
+		})
+	}
+	pressured := sim.View{Window: sim.WindowMetrics{PTWSharePct: 50}, Samples: samples}
+
+	// Without walk pressure the daemon must not move the page tables,
+	// but it still pays its scan overhead.
+	if oh := migratePageTables(env, sim.View{Samples: samples}, 2, 10); oh <= 0 {
+		t.Fatal("gated pass charged no scan overhead")
+	}
+	if home, _ := r.PTHome(); home != 0 {
+		t.Fatal("migrated without walk pressure")
+	}
+	// Under pressure the page tables follow the dominant accessor, and
+	// the pass charges migration cycles beyond the scan overhead.
+	moved := migratePageTables(env, pressured, 2, 10)
+	if home, _ := r.PTHome(); home != 2 {
+		t.Fatalf("PT home = %v, want dominant accessor node 2", home)
+	}
+	if moved <= ptMigPassCycles+float64(len(samples))*ptMigCyclesPerSample {
+		t.Fatalf("migrating pass cycles = %v, want scan overhead plus copy cost", moved)
+	}
+	// A repeat pass is a no-op: already home, no extra copy cost.
+	again := migratePageTables(env, pressured, 2, 10)
+	if home, _ := r.PTHome(); home != 2 {
+		t.Fatal("page tables drifted on a no-op pass")
+	}
+	if again >= moved {
+		t.Fatalf("no-op pass (%v) should cost less than the migrating pass (%v)", again, moved)
+	}
+}
+
+func TestTridentLPComposition(t *testing.T) {
+	pol := TridentLP().(*Pipeline)
+	env := setup(t, pol)
+	if pol.Trident() == nil {
+		t.Fatal("TridentLP must run the ladder controller")
+	}
+	if env.PageTables == nil {
+		t.Fatal("TridentLP prices page-table locality")
+	}
+	if env.THP == nil || !env.THP.AllocEnabled() {
+		t.Fatal("TridentLP climbs from THP's 2M rung")
+	}
+}
+
+func TestMechanismsDescribeComposition(t *testing.T) {
+	pol := CarrefourLP().(*Pipeline)
+	mechs := pol.Mechanisms()
+	if len(mechs) != 2 {
+		t.Fatalf("CarrefourLP composes %d mechanisms, want 2 (page-size, LP): %v", len(mechs), mechs)
+	}
+}
+
 func TestPolicyTickRunsDaemons(t *testing.T) {
-	pol := CarrefourLP().(*osPolicy)
+	pol := CarrefourLP().(*Pipeline)
 	env := setup(t, pol)
 	r := env.Space.Regions()[0]
 	for ci := 0; ci < 8; ci++ {

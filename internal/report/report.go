@@ -182,3 +182,6 @@ func Num(v float64) string { return fmt.Sprintf("%.1f", v) }
 
 // Ms formats a milliseconds cell from seconds.
 func Ms(seconds float64) string { return fmt.Sprintf("%.0fms", seconds*1000) }
+
+// Seconds formats a runtime cell.
+func Seconds(v float64) string { return fmt.Sprintf("%.2fs", v) }

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"reflect"
 	"runtime"
 	"testing"
 
@@ -10,60 +9,11 @@ import (
 	"repro/internal/workloads"
 )
 
-// workerCell names one (machine, workload, policy) simulation for the
-// determinism matrix.
-type workerCell struct {
-	name    string
-	machine *topo.Machine
-	spec    func(t *testing.T) workloads.Spec
-	policy  func() OS
-}
-
-func byName(name string) func(t *testing.T) workloads.Spec {
-	return func(t *testing.T) workloads.Spec {
-		t.Helper()
-		spec, err := workloads.ByName(name)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return spec
-	}
-}
-
-// TestResultIdenticalAcrossWorkerCounts is the engine's central
-// parallelism contract: sim.Result must be byte-identical whether the
-// steady-state pricing stage runs on 1, 2 or NumCPU workers. runcache
-// relies on this to exclude Config.Workers/Pool from cell addresses.
-func TestResultIdenticalAcrossWorkerCounts(t *testing.T) {
-	cells := []workerCell{
-		{"B/CG.D/THP", topo.MachineB(), byName("CG.D"), func() OS { return &thpOn{} }},
-		{"A/UA.B/Linux4K", topo.MachineA(), byName("UA.B"), func() OS { return linux4K{} }},
-	}
-	counts := []int{1, 2, runtime.NumCPU()}
-	for _, cell := range cells {
-		t.Run(cell.name, func(t *testing.T) {
-			var base Result
-			for i, workers := range counts {
-				cfg := DefaultConfig()
-				cfg.WorkScale = 0.05
-				cfg.Workers = workers
-				eng, err := New(cell.machine, cell.spec(t), cell.policy(), cfg)
-				if err != nil {
-					t.Fatal(err)
-				}
-				res := eng.Run()
-				if i == 0 {
-					base = res
-					continue
-				}
-				if !reflect.DeepEqual(base, res) {
-					t.Fatalf("result differs between %d and %d workers:\n%+v\nvs\n%+v",
-						counts[0], workers, base, res)
-				}
-			}
-		})
-	}
-}
+// The engine's central parallelism contract — sim.Result byte-identical
+// for any worker count — is asserted over *every* policy in
+// TestResultIdenticalAcrossWorkerCounts (policies_parallel_test.go,
+// external test package: the policy registry imports sim, so the matrix
+// cannot live in this package).
 
 // primeSteady advances an engine past its allocation barrier and
 // prepares a steady-state epoch context (the snapshot runEpoch builds

@@ -1,0 +1,76 @@
+package sim_test
+
+// External test package: the policy registry imports sim, so the
+// full-matrix determinism test lives here rather than in package sim.
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/workloads"
+)
+
+// TestResultIdenticalAcrossWorkerCounts is the engine's central
+// parallelism contract: sim.Result must be byte-identical whether the
+// steady-state pricing stage runs on 1, 2 or NumCPU workers. runcache
+// relies on this to exclude Config.Workers/Pool from cell addresses.
+// Every policy policy.Names() knows — the paper's seven and the
+// beyond-the-paper page-table pipelines — goes through the matrix, so a
+// new policy cannot ship without the guarantee (the page-table pricing
+// path has its own deferred-accounting surface to get wrong).
+func TestResultIdenticalAcrossWorkerCounts(t *testing.T) {
+	// UA.B has sharing, halos and multi-region structure, so every
+	// daemon has something to act on; CG.D on machine B additionally
+	// covers the 64-thread hot-page path for two representative
+	// policies without making the matrix quadratic.
+	type cell struct{ machine, workload, pol string }
+	var cells []cell
+	for _, name := range policy.Names() {
+		cells = append(cells, cell{"A", "UA.B", name})
+	}
+	cells = append(cells,
+		cell{"B", "CG.D", "THP"},
+		cell{"B", "CG.D", "TridentLP"},
+	)
+	counts := []int{1, 2, runtime.NumCPU()}
+	for _, c := range cells {
+		c := c
+		t.Run(c.machine+"/"+c.workload+"/"+c.pol, func(t *testing.T) {
+			machine := topo.MachineA()
+			if c.machine == "B" {
+				machine = topo.MachineB()
+			}
+			spec, err := workloads.ByName(c.workload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var base sim.Result
+			for i, workers := range counts {
+				pol, err := policy.ByName(c.pol)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := sim.DefaultConfig()
+				cfg.WorkScale = 0.05
+				cfg.Workers = workers
+				eng, err := sim.New(machine, spec, pol, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := eng.Run()
+				if i == 0 {
+					base = res
+					continue
+				}
+				if !reflect.DeepEqual(base, res) {
+					t.Fatalf("result differs between %d and %d workers:\n%+v\nvs\n%+v",
+						counts[0], workers, base, res)
+				}
+			}
+		})
+	}
+}

@@ -121,8 +121,23 @@ type Env struct {
 	Costs vm.OpCosts
 	// Rng is the policy-side random stream (page interleaving).
 	Rng *stats.Rng
+	// PageTables, when set by a policy at Setup, enables NUMA-aware
+	// page-table pricing: walks whose leaf PTEs live off the accessing
+	// core's node pay the interconnect latency to the page-table home,
+	// and walk DRAM fetches are accounted into per-node traffic. Nil
+	// (the default, and all the paper's policies) keeps the legacy
+	// location-blind walk pricing.
+	PageTables *PTConfig
 
 	engine *Engine
+}
+
+// PTConfig configures NUMA-aware page-table placement pricing.
+type PTConfig struct {
+	// Replicated prices every walk as node-local (a full Mitosis-style
+	// page-table replica per node); the replication cost itself is
+	// charged on the fault path via vm.AddrSpace.PTReplicas.
+	Replicated bool
 }
 
 // Snapshot captures cumulative counters so policies can compute
@@ -270,6 +285,7 @@ type pendingFault struct {
 type threadScratch struct {
 	rng        stats.Rng
 	homeCnt    []float64 // unscaled DRAM requests per home node
+	walkCnt    []float64 // unscaled walk DRAM fetches per PT home node (PT pricing only)
 	samples    []ibs.Sample
 	faultLog   []accessRec // fresh faults to replay via ApplyFault
 	acctLog    []accessRec // unmapped-chunk accounting to replay after faults
@@ -322,6 +338,12 @@ type Engine struct {
 	churnPer []float64
 	lat      []float64 // lat[src*nodes+home] = controller + fabric cycles
 	memLat   []float64
+	// Page-table locality snapshot (allocated only when the policy set
+	// Env.PageTables): fabric-only latency matrix for walk surcharges,
+	// and each region's page-table home this epoch (-1 = local: either
+	// replicated everywhere or not yet allocated).
+	fabLat []float64
+	ptHome []int32
 
 	// Reusable epoch scratch.
 	budgets     []float64
@@ -381,6 +403,13 @@ func New(m *topo.Machine, spec workloads.Spec, policy OS, cfg Config) (*Engine, 
 		e.ts[t].samples = make([]ibs.Sample, 0, 64)
 	}
 	policy.Setup(e.env)
+	if e.env.PageTables != nil {
+		e.fabLat = make([]float64, e.nodes*e.nodes)
+		e.ptHome = make([]int32, len(wl.Regions))
+		for t := range e.ts {
+			e.ts[t].walkCnt = make([]float64, e.nodes)
+		}
+	}
 	return e, nil
 }
 
@@ -455,6 +484,21 @@ func (e *Engine) snapshotEpoch() {
 	}
 	e.env.Phys.FillLatencies(e.memLat)
 	e.env.Fabric.FillLatencyMatrix(e.lat)
+	if e.env.PageTables != nil {
+		// Fabric-only copy for walk surcharges (a remote PTE fetch pays
+		// the interconnect hop; its DRAM service time is already in the
+		// assessment's WalkCycles), plus each region's PT home.
+		copy(e.fabLat, e.lat)
+		for ri, br := range e.wl.Regions {
+			e.ptHome[ri] = -1
+			if e.env.PageTables.Replicated {
+				continue
+			}
+			if node, ok := br.VM.PTHome(); ok {
+				e.ptHome[ri] = int32(node)
+			}
+		}
+	}
 	for s := 0; s < e.nodes; s++ {
 		row := e.lat[s*e.nodes : (s+1)*e.nodes]
 		for h := range row {
@@ -628,6 +672,9 @@ func (e *Engine) priceSteady(t, epoch int, epochCycles float64, assess tlb.Asses
 	for i := range s.homeCnt {
 		s.homeCnt[i] = 0
 	}
+	for i := range s.walkCnt {
+		s.walkCnt[i] = 0
+	}
 	s.samples = s.samples[:0]
 	s.faultLog = s.faultLog[:0]
 	s.acctLog = s.acctLog[:0]
@@ -642,6 +689,11 @@ func (e *Engine) priceSteady(t, epoch int, epochCycles float64, assess tlb.Asses
 	}
 	phase := e.wl.PhaseAt(e.progress[t] / work)
 	latRow := e.lat[src*e.nodes : (src+1)*e.nodes]
+	ptHomes := e.ptHome // nil unless page-table locality pricing is on
+	var fabRow []float64
+	if ptHomes != nil {
+		fabRow = e.fabLat[src*e.nodes : (src+1)*e.nodes]
+	}
 	mlp := 1 - spec.MLPOverlap
 
 	var sumCost, faultDirect float64
@@ -674,6 +726,18 @@ func (e *Engine) priceSteady(t, epoch int, epochCycles float64, assess tlb.Asses
 				cost += assess.WalkCycles
 				tlbMiss++
 				ptwL2 += assess.WalkL2Misses
+				if ptHomes != nil {
+					// NUMA-aware page tables: the walk's DRAM fetches go
+					// to the accessed region's PT home node, paying the
+					// fabric on top when that node is remote.
+					home := int(ptHomes[acc.RegionIdx])
+					if home < 0 {
+						home = src
+					} else if home != src {
+						cost += assess.RemoteWalkCycles(fabRow[home])
+					}
+					s.walkCnt[home] += assess.WalkDRAMFetches()
+				}
 			}
 		}
 
@@ -819,6 +883,14 @@ func (e *Engine) mergeSteady(t int) {
 	scale := s.scale
 	src := e.machine.NodeOf(core)
 	for h, cnt := range s.homeCnt {
+		if cnt == 0 {
+			continue
+		}
+		home := topo.NodeID(h)
+		e.env.Phys.Record(home, cnt*scale)
+		e.env.Fabric.Record(src, home, cnt*scale)
+	}
+	for h, cnt := range s.walkCnt {
 		if cnt == 0 {
 			continue
 		}

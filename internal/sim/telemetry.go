@@ -1,0 +1,49 @@
+package sim
+
+import "repro/internal/ibs"
+
+// View is one gathered telemetry interval: the cumulative snapshot it
+// ended on, the hardware-window metrics since the previous gather, and
+// the IBS samples drained from the per-node buffers. It is the
+// hardware-visible state a policy daemon bases one decision pass on.
+//
+// The sample slice is owned by the sampler and valid only until the next
+// Gather (ibs.Sampler.Drain reuses its merge buffer); consumers must use
+// it within their tick.
+type View struct {
+	Snapshot Snapshot
+	Window   WindowMetrics
+	Samples  []ibs.Sample
+}
+
+// Telemetry produces interval Views over an Env. One Telemetry instance
+// holds the previous snapshot and the reusable window scratch, so
+// successive Gather calls yield back-to-back windows. Policy pipelines
+// share one Telemetry across all their mechanisms: the IBS buffers are
+// drained once per interval and every component sees the same samples
+// and the same window, instead of each daemon keeping a private (and
+// mutually invisible) copy of the counters.
+//
+// The zero value is ready to use; the first Gather windows against an
+// all-zero snapshot.
+type Telemetry struct {
+	prev     Snapshot
+	win      WindowScratch
+	havePrev bool
+}
+
+// Gather snapshots the counters, drains the IBS buffers, and computes
+// the window metrics since the previous Gather.
+func (t *Telemetry) Gather(env *Env) View {
+	snap := env.Snapshot()
+	samples := env.Sampler.Drain()
+	var w WindowMetrics
+	if t.havePrev {
+		w = t.win.Window(t.prev, snap)
+	} else {
+		w = t.win.Window(Snapshot{FaultCycles: make([]float64, len(snap.FaultCycles))}, snap)
+	}
+	t.prev = snap
+	t.havePrev = true
+	return View{Snapshot: snap, Window: w, Samples: samples}
+}

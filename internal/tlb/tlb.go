@@ -115,6 +115,23 @@ func (a Assessment) CostPerAccess(cfg Config) float64 {
 	return a.L2Hit*cfg.L2HitCycles + a.Miss*a.WalkCycles
 }
 
+// RemoteWalkCycles prices the NUMA surcharge of one walk whose leaf page
+// tables live on a remote node: every DRAM-bound PTE fetch of the walk
+// (WalkL2Misses in expectation) crosses the interconnect to the
+// page-table home and pays fabricCycles on top of the DRAM latency
+// already in WalkCycles. Walks are serial pointer chases, so no
+// memory-level-parallelism discount applies. With local (or replicated)
+// page tables the surcharge is zero.
+func (a Assessment) RemoteWalkCycles(fabricCycles float64) float64 {
+	return a.WalkL2Misses * fabricCycles
+}
+
+// WalkDRAMFetches is the expected number of DRAM requests one walk sends
+// to the node holding the leaf page tables; the engine accounts them
+// into per-node controller and link traffic when page-table locality
+// pricing is enabled.
+func (a Assessment) WalkDRAMFetches() float64 { return a.WalkL2Misses }
+
 // Model evaluates assessments under a fixed configuration.
 type Model struct {
 	Cfg Config

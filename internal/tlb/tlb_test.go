@@ -155,3 +155,20 @@ func TestZeroWeightSegmentsIgnored(t *testing.T) {
 		t.Fatalf("zero-weight segment influenced the result: %+v", a)
 	}
 }
+
+func TestRemoteWalkPricing(t *testing.T) {
+	// A big cold 4K footprint: walks frequently fetch leaf PTEs from
+	// DRAM, so remote page tables must add measurable cycles per walk.
+	a := model().Assess([]Segment{{Weight: 1, Pages: 1 << 22, Size: mem.Size4K}})
+	if a.WalkDRAMFetches() <= 0 {
+		t.Fatalf("cold walks should reach DRAM: %+v", a)
+	}
+	const fabric = 140.0
+	if got, want := a.RemoteWalkCycles(fabric), a.WalkL2Misses*fabric; got != want {
+		t.Fatalf("RemoteWalkCycles = %v, want %v", got, want)
+	}
+	// Local (or replicated) page tables pay nothing.
+	if a.RemoteWalkCycles(0) != 0 {
+		t.Fatal("local walk paid a fabric surcharge")
+	}
+}

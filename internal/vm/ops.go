@@ -17,6 +17,14 @@ type OpCosts struct {
 	Split2M    float64
 	Split1G    float64
 	PromoteMin float64 // remap cost; per-sub copy costs add Migrate4K each
+	// Promote1GMin is the remap cost of gathering 2 MB chunks into one
+	// 1 GB page; per-chunk copy costs add Migrate2M for every chunk not
+	// already on the target node (the Trident-style ladder's up-rung).
+	Promote1GMin float64
+	// PTMigrateMin is the fixed cost of re-homing a region's page
+	// tables; per-page copy costs add Migrate4K for each 4 KB of
+	// page-table memory moved.
+	PTMigrateMin float64
 }
 
 // DefaultOpCosts returns the evaluation calibration. Migrating a 2 MB page
@@ -24,11 +32,13 @@ type OpCosts struct {
 // much time migrating large pages" on some workloads (§4.2).
 func DefaultOpCosts() OpCosts {
 	return OpCosts{
-		Migrate4K:  12000,
-		Migrate2M:  1.4e6,
-		Split2M:    30000,
-		Split1G:    250000,
-		PromoteMin: 60000,
+		Migrate4K:    12000,
+		Migrate2M:    1.4e6,
+		Split2M:      30000,
+		Split1G:      250000,
+		PromoteMin:   60000,
+		Promote1GMin: 500000,
+		PTMigrateMin: 50000,
 	}
 }
 
@@ -271,9 +281,59 @@ func (r *Region) MapGiant(head int, node topo.NodeID) error {
 		c.giantHead = head
 	}
 	r.chunks[head].node = node
+	if !r.ptHomeSet {
+		// The hugetlbfs reservation also allocates the page tables, on
+		// the reserving thread's node.
+		r.ptHome = node
+		r.ptHomeSet = true
+	}
 	r.Space.faultCount1G++
 	r.count1G++
 	return nil
+}
+
+// PromoteGiant gathers the 2 MB chunks of a 1 GB-aligned span into one
+// 1 GB page on the span's dominant node (the up-rung of a 4K/2M/1G
+// ladder), paying a per-chunk copy for every chunk not already there.
+// All chunks of the span must be 2 MB-mapped.
+func (r *Region) PromoteGiant(head int, costs OpCosts) (float64, bool) {
+	if head%ChunksPerGiant != 0 || head >= len(r.chunks) {
+		return 0, false
+	}
+	span := r.giantSpan(head)
+	weights := make([]float64, r.Space.Machine.Nodes)
+	for i := head; i < head+span; i++ {
+		c := &r.chunks[i]
+		if c.state != state2M {
+			return 0, false
+		}
+		weights[c.node] += float64(c.accesses) + 1
+	}
+	node := topo.NodeID(0)
+	for n := range weights {
+		if weights[n] > weights[node] {
+			node = topo.NodeID(n)
+		}
+	}
+	if err := r.Space.Phys.Allocate(node, mem.Size1G); err != nil {
+		return 0, false
+	}
+	cycles := costs.Promote1GMin
+	for i := head; i < head+span; i++ {
+		c := &r.chunks[i]
+		if c.node != node {
+			cycles += costs.Migrate2M
+		}
+		r.Space.Phys.Free(c.node, mem.Size2M)
+		c.state = state1G
+		c.giantHead = head
+		c.accesses = 0
+		c.threadMask = 0
+	}
+	r.chunks[head].node = node
+	r.count2M -= span
+	r.count1G++
+	return cycles, true
 }
 
 // giantSpan is the number of chunks a 1 GB page at head covers (the tail

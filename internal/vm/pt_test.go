@@ -1,0 +1,104 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/topo"
+)
+
+func TestPTHomeFollowsFirstFault(t *testing.T) {
+	s := newSpace()
+	r := s.Mmap("heap", 8<<20, true)
+	if _, ok := r.PTHome(); ok {
+		t.Fatal("fresh region must have no page tables yet")
+	}
+	// Core 6 is on node 1 (machine A: 6 cores/node); its fault allocates
+	// the page tables there.
+	r.Access(6, 6, 0)
+	if home, ok := r.PTHome(); !ok || home != 1 {
+		t.Fatalf("PT home = %v,%v, want node 1", home, ok)
+	}
+	// Later faults from other nodes must not move it.
+	r.Access(0, 0, 4096)
+	if home, _ := r.PTHome(); home != 1 {
+		t.Fatal("PT home moved on a later fault")
+	}
+}
+
+func TestMigratePT(t *testing.T) {
+	s := newSpace()
+	r := s.Mmap("heap", 8<<20, true)
+	if r.MigratePT(2) {
+		t.Fatal("migrated page tables that do not exist")
+	}
+	r.Access(0, 0, 0)
+	if !r.MigratePT(2) {
+		t.Fatal("migration refused")
+	}
+	if home, _ := r.PTHome(); home != 2 {
+		t.Fatalf("PT home = %v, want 2", home)
+	}
+	if r.MigratePT(2) {
+		t.Fatal("no-op migration reported as moved")
+	}
+	if r.PTBytes() != 8 {
+		t.Fatalf("PTBytes = %d, want 8 (one 4K translation)", r.PTBytes())
+	}
+}
+
+func TestReplicaUpdateFaultCost(t *testing.T) {
+	s := newSpace()
+	base := s.FaultCostFor(mem.Size4K)
+	s.PTReplicas = s.Machine.Nodes // 4 on machine A
+	repl := s.FaultCostFor(mem.Size4K)
+	want := base + 3*s.Faults.ReplicaUpdateCycles
+	if repl != want {
+		t.Fatalf("replicated fault cost = %v, want %v", repl, want)
+	}
+}
+
+func TestPromoteGiant(t *testing.T) {
+	s := thpSpace()
+	r := s.Mmap("heap", uint64(mem.Size1G), true)
+	costs := DefaultOpCosts()
+	if _, ok := r.PromoteGiant(0, costs); ok {
+		t.Fatal("promoted an unmapped span")
+	}
+	// Map every chunk at 2 MB: most on node 0, a few on node 1.
+	for ci := 0; ci < r.NumChunks(); ci++ {
+		core := topo.CoreID(0)
+		if ci%8 == 0 {
+			core = 6 // node 1
+		}
+		r.Access(core, int(core), uint64(ci)*uint64(mem.Size2M))
+	}
+	if _, ok := r.PromoteGiant(1, costs); ok {
+		t.Fatal("promoted an unaligned head")
+	}
+	cyc, ok := r.PromoteGiant(0, costs)
+	if !ok {
+		t.Fatal("promotion refused on a fully 2M-mapped span")
+	}
+	// 64 of the 512 chunks lived on node 1 and must be copied.
+	want := costs.Promote1GMin + 64*costs.Migrate2M
+	if cyc != want {
+		t.Fatalf("promotion cycles = %v, want %v", cyc, want)
+	}
+	n4, n2, n1 := r.MappedPages()
+	if n4 != 0 || n2 != 0 || n1 != 1 {
+		t.Fatalf("census after promotion: %d/%d/%d, want 0/0/1", n4, n2, n1)
+	}
+	info := r.ChunkInfo(5)
+	if info.State != Mapped1G || info.Node != 0 {
+		t.Fatalf("chunk 5 after promotion: %+v, want 1G on dominant node 0", info)
+	}
+	// The ladder must be reversible: demote back to 2 MB.
+	if _, ok := r.SplitGiant(0, costs); !ok {
+		t.Fatal("demotion refused")
+	}
+	_, n2, n1 = r.MappedPages()
+	if n2 != 512 || n1 != 0 {
+		t.Fatalf("census after demotion: %d 2M / %d 1G, want 512/0", n2, n1)
+	}
+}

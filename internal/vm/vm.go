@@ -116,10 +116,42 @@ type Region struct {
 	// Incrementally maintained translation census (MappedPages is on the
 	// simulator's per-epoch hot path).
 	count4K, count2M, count1G int
+
+	// Page-table residency: the node holding the region's leaf page
+	// tables. Linux allocates page-table pages like any other kernel
+	// allocation — on the node of the thread that faults first — so the
+	// home is established by the region's first mapping and stays there
+	// until a policy migrates it (ptHomeSet distinguishes "not yet
+	// allocated" from node 0).
+	ptHome    topo.NodeID
+	ptHomeSet bool
 }
 
 // NumChunks returns the number of 2 MB chunks spanning the region.
 func (r *Region) NumChunks() int { return len(r.chunks) }
+
+// PTHome returns the node holding the region's leaf page tables and
+// whether the page tables exist yet (they are allocated by the region's
+// first fault, on the faulting thread's node).
+func (r *Region) PTHome() (topo.NodeID, bool) { return r.ptHome, r.ptHomeSet }
+
+// MigratePT moves the region's page tables to node (NUMA-aware
+// page-table migration); the caller prices the copy from PTBytes. It
+// reports whether anything moved.
+func (r *Region) MigratePT(to topo.NodeID) bool {
+	if !r.ptHomeSet || r.ptHome == to {
+		return false
+	}
+	r.ptHome = to
+	return true
+}
+
+// PTBytes returns the region's current leaf page-table footprint: 8
+// bytes per live translation, at the granularity each chunk is mapped
+// with. Upper levels are ~1/512 of that and ignored.
+func (r *Region) PTBytes() uint64 {
+	return 8 * uint64(r.count4K+r.count2M+r.count1G)
+}
 
 // PageID names one mapped page inside a region: a whole chunk (Sub == -1,
 // 2 MB or 1 GB granularity is implied by the chunk state) or a single 4 KB
@@ -150,6 +182,11 @@ type FaultParams struct {
 	// LockCyclesPerFaulter adds to every fault for each *other* thread
 	// concurrently in the fault path.
 	LockCyclesPerFaulter float64
+	// ReplicaUpdateCycles is the cost of propagating one PTE update to
+	// one extra page-table replica (Mitosis-style replication keeps a
+	// full page-table copy per node, so every fault rewrites the entry
+	// N−1 additional times).
+	ReplicaUpdateCycles float64
 }
 
 // DefaultFaultParams returns the calibration used in the evaluation.
@@ -159,6 +196,7 @@ func DefaultFaultParams() FaultParams {
 		Base2M:               90000,
 		Base1G:               20e6,
 		LockCyclesPerFaulter: 400,
+		ReplicaUpdateCycles:  250,
 	}
 }
 
@@ -176,6 +214,12 @@ type AddrSpace struct {
 	// AllocSize picks the backing page size at fault time. The default
 	// always answers 4 KB.
 	AllocSize AllocSizeFunc
+
+	// PTReplicas, when > 1, is the number of nodes holding a full
+	// page-table replica (Mitosis-style): every fault pays
+	// (PTReplicas−1)×ReplicaUpdateCycles to keep the copies coherent.
+	// 0 (the default) models unreplicated page tables.
+	PTReplicas int
 
 	regions []*Region
 	nextVA  uint64
@@ -531,6 +575,12 @@ func (s *AddrSpace) fault(r *Region, ci int, core topo.CoreID, off uint64) Acces
 func (s *AddrSpace) mapPage(r *Region, ci int, core topo.CoreID, off uint64) AccessResult {
 	size := r.faultSize(ci)
 	node := s.placeNode(core, size)
+	if !r.ptHomeSet {
+		// First mapping in the region also allocates its page-table
+		// pages, on the faulting thread's node.
+		r.ptHome = s.Machine.NodeOf(core)
+		r.ptHomeSet = true
+	}
 	c := &r.chunks[ci]
 	var res AccessResult
 	if size == mem.Size2M {
@@ -618,7 +668,11 @@ func (s *AddrSpace) faultCost(size mem.PageSize) float64 {
 	if contenders < 0 {
 		contenders = 0
 	}
-	return base + float64(contenders)*s.Faults.LockCyclesPerFaulter
+	cost := base + float64(contenders)*s.Faults.LockCyclesPerFaulter
+	if s.PTReplicas > 1 {
+		cost += float64(s.PTReplicas-1) * s.Faults.ReplicaUpdateCycles
+	}
+	return cost
 }
 
 // popcount64 is a tiny helper for thread-mask cardinality.

@@ -30,7 +30,11 @@ import (
 	"repro/internal/workloads"
 )
 
-// Policy names accepted by Request.Policy.
+// Policy names accepted by Request.Policy: the paper's seven
+// configurations, plus the beyond-the-paper page-table placement and
+// page-size-ladder pipelines (priced under NUMA-aware page tables; see
+// DESIGN.md §2.5 — they are comparable with each other, not with the
+// location-blind paper policies).
 const (
 	PolicyLinux4K      = "Linux4K"
 	PolicyTHP          = "THP"
@@ -39,6 +43,10 @@ const (
 	PolicyReactive     = "Reactive"
 	PolicyCarrefourLP  = "CarrefourLP"
 	PolicyHugeTLB1G    = "HugeTLB1G"
+	PolicyPTBaseline   = "PTBaseline"
+	PolicyMitosisPTR   = "MitosisPTR"
+	PolicyNumaPTEMig   = "NumaPTEMig"
+	PolicyTridentLP    = "TridentLP"
 )
 
 // Request names one simulation; see runner.Request.

@@ -8,11 +8,11 @@ func TestSurfaceLists(t *testing.T) {
 	if len(Workloads()) != 20 {
 		t.Fatalf("workloads = %d, want 20", len(Workloads()))
 	}
-	if len(Policies()) != 7 {
-		t.Fatalf("policies = %d, want 7", len(Policies()))
+	if len(Policies()) != 11 {
+		t.Fatalf("policies = %d, want 11 (7 paper + 4 beyond)", len(Policies()))
 	}
-	if len(Experiments()) != 10 {
-		t.Fatalf("experiments = %d, want 10", len(Experiments()))
+	if len(Experiments()) != 11 {
+		t.Fatalf("experiments = %d, want 11", len(Experiments()))
 	}
 }
 
