@@ -20,7 +20,10 @@ import (
 //	1 — original layout (implicit; no schema_version field)
 //	2 — adds schema_version, host goos/goarch, and the suite dimensions
 //	    (workloads/policies/experiments counts)
-const benchSchemaVersion = 2
+//	3 — adds mode (sampled/analytic): passes run under different pricing
+//	    engines are not comparable, so the field is part of the meaning
+//	    of every timing in the report
+const benchSchemaVersion = 3
 
 // benchReport is the machine-readable result of `lpnuma bench`, written
 // as JSON so successive PRs accumulate a perf trajectory
@@ -29,6 +32,7 @@ type benchReport struct {
 	SchemaVersion int     `json:"schema_version"`
 	Bench         string  `json:"bench"`
 	Scale         float64 `json:"scale"`
+	Mode          string  `json:"mode"`
 	Seed          uint64  `json:"seed"`
 	Jobs          int     `json:"jobs"`
 	GOMAXPROCS    int     `json:"gomaxprocs"`
@@ -62,12 +66,15 @@ type benchExperiment struct {
 // runBench executes the full experiment sweep as a timed benchmark and
 // writes a JSON report. It is the CI perf smoke: a fixed workload whose
 // wall clock is comparable across commits on the same runner.
-func runBench(args []string, stdout, stderr io.Writer) error {
+func runBench(args []string, stdout, stderr io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	scale := fs.Float64("scale", 0.1, "work scale of the benchmark pass")
 	jobs := fs.Int("j", 0, "concurrent simulations (0 = host CPU count)")
 	out := fs.String("o", "BENCH_lpnuma.json", "output JSON path (- for stdout)")
+	modeName := fs.String("mode", "sampled", "steady-state pricing engine (sampled or analytic)")
+	var prof profileFlags
+	prof.register(fs)
 	if err := parseFlags(fs, args, stderr); err != nil {
 		return err
 	}
@@ -75,13 +82,27 @@ func runBench(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "unexpected arguments\n")
 		return errFlagParse
 	}
+	mode, err := parseMode(*modeName, stderr)
+	if err != nil {
+		return err
+	}
+	stopProf, err := prof.start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); err != nil && retErr == nil {
+			retErr = err
+		}
+	}()
 
-	cfg := lpnuma.ExperimentConfig{Seed: *seed, WorkScale: *scale}
+	cfg := lpnuma.ExperimentConfig{Seed: *seed, WorkScale: *scale, Mode: mode}
 	sched := lpnuma.NewScheduler(*jobs)
 	rep := benchReport{
 		SchemaVersion: benchSchemaVersion,
 		Bench:         "lpnuma-all",
 		Scale:         *scale,
+		Mode:          mode.String(),
 		Seed:          *seed,
 		Jobs:          sched.Workers(),
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),

@@ -22,11 +22,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/report"
 	"repro/internal/runcache"
+	"repro/internal/sim"
 	"repro/lpnuma"
 )
 
@@ -107,17 +110,98 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, "usage: lpnuma {list|run|experiment <id>|all|bench} [flags]")
 }
 
-func runOne(args []string, stdout, stderr io.Writer) error {
+// profileFlags are the -cpuprofile/-memprofile options every simulating
+// subcommand registers, so the hot-path numbers in README/DESIGN are
+// reproducible from the shipped binary (`lpnuma all -mode analytic
+// -cpuprofile cpu.pprof`, then `go tool pprof`).
+type profileFlags struct {
+	cpu, mem string
+}
+
+// register installs the flags on a subcommand's flag set.
+func (p *profileFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&p.cpu, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&p.mem, "memprofile", "", "write a heap profile to this file at exit")
+}
+
+// start begins CPU profiling when requested and returns the stop
+// function to defer; stop also writes the heap profile.
+func (p *profileFlags) start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if p.cpu != "" {
+		cpuFile, err = os.Create(p.cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if p.mem != "" {
+			memFile, err := os.Create(p.mem)
+			if err != nil {
+				return err
+			}
+			defer memFile.Close()
+			runtime.GC() // materialize accurate live-heap statistics
+			if err := pprof.WriteHeapProfile(memFile); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}
+
+// parseMode resolves a -mode flag value, reporting errors like the flag
+// package does (exit 2 via errFlagParse).
+func parseMode(value string, stderr io.Writer) (sim.Mode, error) {
+	mode, err := sim.ParseMode(value)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return mode, errFlagParse
+	}
+	return mode, nil
+}
+
+func runOne(args []string, stdout, stderr io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	machine := fs.String("m", "A", "machine (A or B)")
 	workload := fs.String("w", "CG.D", "benchmark name")
 	pol := fs.String("p", "THP", "policy name")
 	seed := fs.Uint64("seed", 1, "simulation seed")
+	modeName := fs.String("mode", "sampled", "steady-state pricing engine (sampled or analytic)")
+	scale := fs.Float64("scale", 1.0, "work scale (<1 for quicker, noisier passes)")
+	var prof profileFlags
+	prof.register(fs)
 	if err := parseFlags(fs, args, stderr); err != nil {
 		return err
 	}
+	mode, err := parseMode(*modeName, stderr)
+	if err != nil {
+		return err
+	}
+	stopProf, err := prof.start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); err != nil && retErr == nil {
+			retErr = err
+		}
+	}()
+	cfg := lpnuma.DefaultConfig()
+	cfg.Mode = mode
+	cfg.WorkScale = *scale
 	start := time.Now()
-	res, err := lpnuma.Run(lpnuma.Request{Machine: *machine, Workload: *workload, Policy: *pol, Seed: *seed})
+	res, err := lpnuma.Run(lpnuma.Request{Machine: *machine, Workload: *workload, Policy: *pol, Seed: *seed, Cfg: &cfg})
 	if err != nil {
 		return err
 	}
@@ -143,6 +227,8 @@ type experimentFlags struct {
 	jobs    int
 	verbose bool
 	out     string
+	mode    sim.Mode
+	prof    profileFlags
 }
 
 // parseExperimentFlags parses the experiment/all flag set.
@@ -154,6 +240,8 @@ func parseExperimentFlags(args []string, stderr io.Writer) (experimentFlags, err
 	fs.IntVar(&f.jobs, "j", 0, "concurrent simulations (0 = host CPU count)")
 	fs.BoolVar(&f.verbose, "v", false, "log each completed simulation cell")
 	fs.StringVar(&f.out, "o", "", "also write the pass as markdown to this file (EXPERIMENTS.md source)")
+	modeName := fs.String("mode", "sampled", "steady-state pricing engine (sampled or analytic)")
+	f.prof.register(fs)
 	if err := parseFlags(fs, args, stderr); err != nil {
 		return f, err
 	}
@@ -167,6 +255,10 @@ func parseExperimentFlags(args []string, stderr io.Writer) (experimentFlags, err
 		fmt.Fprintf(stderr, "-j must be >= 0, got %d\n", f.jobs)
 		return f, errFlagParse
 	}
+	var err error
+	if f.mode, err = parseMode(*modeName, stderr); err != nil {
+		return f, err
+	}
 	return f, nil
 }
 
@@ -175,6 +267,15 @@ func runExperiments(args []string, stdout, stderr io.Writer, ids ...string) (ret
 	if err != nil {
 		return err
 	}
+	stopProf, err := f.prof.start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); err != nil && retErr == nil {
+			retErr = err
+		}
+	}()
 	if f.out != "" {
 		// Fail on an unwritable output path before the pass, not after
 		// minutes of simulation. Open without truncating so a failing
@@ -195,7 +296,7 @@ func runExperiments(args []string, stdout, stderr io.Writer, ids ...string) (ret
 			}()
 		}
 	}
-	cfg := lpnuma.ExperimentConfig{Seed: f.seed, WorkScale: f.scale}
+	cfg := lpnuma.ExperimentConfig{Seed: f.seed, WorkScale: f.scale, Mode: f.mode}
 	sched := lpnuma.NewScheduler(f.jobs)
 	if f.verbose {
 		sched.Progress = func(done, total int, key runcache.Key) {
@@ -257,7 +358,11 @@ func markdown(results []lpnuma.ExperimentResult, summary string, f experimentFla
 	b.WriteString("Reproduced figures and tables of *Large Pages May Be Harmful on\n")
 	b.WriteString("NUMA Systems* (Gaud et al., USENIX ATC 2014), regenerated by the\n")
 	b.WriteString("simulation in this repository. Regenerate with:\n\n")
-	fmt.Fprintf(&b, "```\ngo run ./cmd/lpnuma %s -seed %d -scale %g -o %s\n```\n\n", sub, f.seed, f.scale, f.out)
+	modeFlag := ""
+	if f.mode != sim.ModeSampled {
+		modeFlag = fmt.Sprintf(" -mode %s", f.mode)
+	}
+	fmt.Fprintf(&b, "```\ngo run ./cmd/lpnuma %s -seed %d -scale %g%s -o %s\n```\n\n", sub, f.seed, f.scale, modeFlag, f.out)
 	b.WriteString("Output is deterministic: the same seed and scale reproduce this\n")
 	b.WriteString("file byte for byte, for any `-j` worker count.\n\n")
 	for _, res := range results {

@@ -182,3 +182,51 @@ func TestMarkdownDocument(t *testing.T) {
 		t.Fatalf("full pass should stamp `all`:\n%s", doc)
 	}
 }
+
+func TestModeFlag(t *testing.T) {
+	var out, errb strings.Builder
+	// A bogus mode is a usage error (exit 2, message to stderr).
+	if code := run([]string{"run", "-mode", "bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("bogus mode exit = %d, want 2 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "unknown mode") {
+		t.Fatalf("stderr missing mode error: %s", errb.String())
+	}
+	// The analytic engine runs end to end from the CLI.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"run", "-m", "A", "-w", "UA.B", "-p", "THP", "-mode", "analytic", "-scale", "0.02"}, &out, &errb); code != 0 {
+		t.Fatalf("analytic run exit = %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "runtime") {
+		t.Fatalf("missing metrics output:\n%s", out.String())
+	}
+	// The analytic markdown provenance stamps -mode so the document is
+	// reproducible.
+	doc := markdown([]lpnuma.ExperimentResult{{ID: "fig1", Text: "body\n"}}, "s\n",
+		experimentFlags{seed: 1, scale: 1, out: "O.md", mode: lpnuma.ModeAnalytic}, []string{"fig1"})
+	if !strings.Contains(doc, "-mode analytic") {
+		t.Fatalf("provenance missing -mode:\n%s", doc)
+	}
+}
+
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out, errb strings.Builder
+	code := run([]string{"run", "-m", "A", "-w", "UA.B", "-p", "Linux4K", "-scale", "0.02",
+		"-cpuprofile", cpu, "-memprofile", mem}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("profiled run exit = %d: %s", code, errb.String())
+	}
+	for _, f := range []string{cpu, mem} {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", f)
+		}
+	}
+}

@@ -74,6 +74,7 @@ type Carrefour struct {
 	tel      sim.Telemetry
 
 	interleaved map[pageKey]bool
+	scratch     GroupScratch
 
 	migrations  uint64
 	interleaves uint64
@@ -121,7 +122,7 @@ func (c *Carrefour) TickWith(env *sim.Env, v sim.View) float64 {
 // calls this directly as Algorithm 1's line 20). It returns the cycles
 // spent migrating.
 func (c *Carrefour) Apply(env *sim.Env, samples []ibs.Sample) float64 {
-	groups := GroupSamples(samples, env.Machine.Nodes)
+	groups := c.scratch.Group(samples, env.Machine.Nodes)
 	var cycles float64
 	ops := 0
 	for i := range groups {
@@ -224,23 +225,75 @@ func (g *PageGroup) Threads() int {
 	return n
 }
 
+// GroupScratch owns the reusable state behind Group. Daemons group
+// 10⁴-10⁵ samples every decision interval; a persistent scratch turns
+// the per-tick map, key list, group blocks, node-weight slabs and
+// output slice into warm reused memory instead of a fresh multi-MB
+// allocation burst per tick (GroupSamples dominated whole-pass GC
+// profiles). The zero value is ready to use. Returned groups alias the
+// scratch and stay valid only until the next Group call.
+type GroupScratch struct {
+	idx    map[uint64]int32
+	keyed  []uint64
+	blocks [][]PageGroup
+	slabs  [][]float64
+	sorted []PageGroup
+}
+
 // GroupSamples buckets DRAM-serviced samples by page, in a deterministic
 // order (region, chunk, sub). Only DRAM samples are considered, so that
 // decisions "are not affected by pages that are easily cached" (§3.2.1).
 func GroupSamples(samples []ibs.Sample, nodes int) []PageGroup {
+	var gs GroupScratch
+	return gs.Group(samples, nodes)
+}
+
+// Group is GroupSamples on reusable scratch; identical output (the
+// algorithm and its deterministic ordering are unchanged), no
+// steady-state allocation once the scratch is warm.
+func (gs *GroupScratch) Group(samples []ibs.Sample, nodes int) []PageGroup {
 	// Pages are identified by a packed (region, chunk, sub) key whose
 	// uint64 ordering equals the tuple ordering, so one integer both
 	// addresses the dedup map (cheaper to hash than a struct key) and
 	// sorts the result. Daemons drain 10⁵+ samples per interval; this
 	// function is the hottest daemon code in whole-pass profiles.
-	idx := make(map[uint64]int32, 1024)
+	if gs.idx == nil {
+		gs.idx = make(map[uint64]int32, 4096)
+	} else {
+		clear(gs.idx)
+	}
+	idx := gs.idx
 	// Groups accumulate in fixed-size blocks: growing a flat slice would
 	// re-copy every ~80-byte struct on each doubling, which dominated
-	// profiles at 10⁵ groups per interval.
-	var blocks [][]PageGroup
+	// profiles at 10⁵ groups per interval. Blocks and node-weight slabs
+	// persist across calls; only their lengths reset.
+	for i := range gs.blocks {
+		gs.blocks[i] = gs.blocks[i][:0]
+	}
+	blocks := gs.blocks
 	nGroups := int32(0)
-	keyed := make([]uint64, 0, 1024) // key<<groupIdxBits | group index
-	var slab []float64               // shared backing for the per-group NodeWeight slices
+	keyed := gs.keyed[:0] // key<<groupIdxBits | group index
+	// Shared backing for the per-group NodeWeight slices, carved from a
+	// list of reused slabs.
+	slabIdx := -1
+	var slab []float64
+	nextSlab := func() {
+		if slabIdx >= 0 {
+			gs.slabs[slabIdx] = slab
+		}
+		slabIdx++
+		if slabIdx < len(gs.slabs) && cap(gs.slabs[slabIdx]) >= groupBlock*nodes {
+			slab = gs.slabs[slabIdx][:0]
+			return
+		}
+		slab = make([]float64, 0, groupBlock*nodes)
+		if slabIdx < len(gs.slabs) {
+			gs.slabs[slabIdx] = slab
+		} else {
+			gs.slabs = append(gs.slabs, slab)
+		}
+	}
+	nextSlab()
 	for i := range samples {
 		s := &samples[i]
 		if !s.DRAM {
@@ -260,10 +313,13 @@ func GroupSamples(samples []ibs.Sample, nodes int) []PageGroup {
 			nGroups++
 			idx[key] = gi
 			if len(slab)+nodes > cap(slab) {
-				slab = make([]float64, 0, groupBlock*nodes)
+				nextSlab()
 			}
 			nw := slab[len(slab) : len(slab)+nodes : len(slab)+nodes]
 			slab = slab[:len(slab)+nodes]
+			for j := range nw {
+				nw[j] = 0
+			}
 			if int(gi)>>groupBlockShift == len(blocks) {
 				blocks = append(blocks, make([]PageGroup, 0, groupBlock))
 			}
@@ -280,11 +336,17 @@ func GroupSamples(samples []ibs.Sample, nodes int) []PageGroup {
 			g.LocalWeight += w
 		}
 	}
+	gs.blocks = blocks
+	gs.keyed = keyed
+	gs.slabs[slabIdx] = slab
 	// Sort the packed (key, group index) words with the specialized
 	// ordered-type sort — no comparator closures, 8-byte swaps — then
 	// place each ~80-byte group exactly once.
 	slices.Sort(keyed)
-	sorted := make([]PageGroup, nGroups)
+	if cap(gs.sorted) < int(nGroups) {
+		gs.sorted = make([]PageGroup, nGroups)
+	}
+	sorted := gs.sorted[:nGroups]
 	for i, kg := range keyed {
 		gi := int32(kg & (1<<groupIdxBits - 1))
 		sorted[i] = blocks[gi>>groupBlockShift][gi&(groupBlock-1)]

@@ -96,6 +96,12 @@ type LP struct {
 	lastEstCur float64
 	lastEstCar float64
 	lastEstSpl float64
+
+	// Reused per-tick scratch: sample grouping state and the remap/rebind
+	// sample buffers (multi-MB per interval at full sample volume).
+	groupScratch carrefour.GroupScratch
+	subScratch   carrefour.GroupScratch
+	remapBuf     []ibs.Sample
 }
 
 // New builds a Carrefour-LP daemon with both components enabled.
@@ -157,15 +163,15 @@ func (lp *LP) TickWith(env *sim.Env, v sim.View) float64 {
 	}
 
 	// Line 20: interleave and migrate pages with Carrefour.
-	overhead += lp.Car.Apply(env, rebind(samples))
+	overhead += lp.Car.Apply(env, rebindInto(&lp.remapBuf, samples))
 	return overhead
 }
 
 // reactive implements lines 10-19.
 func (lp *LP) reactive(env *sim.Env, samples []ibs.Sample) float64 {
 	nodes := env.Machine.Nodes
-	groups := carrefour.GroupSamples(samples, nodes)
-	subGroups := carrefour.GroupSamples(remapTo4K(samples), nodes)
+	groups := lp.groupScratch.Group(samples, nodes)
+	subGroups := lp.subScratch.Group(remapTo4KInto(&lp.remapBuf, samples), nodes)
 
 	cur := sampledLAR(groups)
 	carLAR := estimatePlacementLAR(groups, nodes)
@@ -276,40 +282,52 @@ func estimatePlacementLAR(groups []carrefour.PageGroup, nodes int) float64 {
 	return local / total * 100
 }
 
-// remapTo4K rewrites samples of 2 MB (and 1 GB) pages onto their 4 KB
-// sub-pages, producing the what-if view "if the large pages were split"
+// resizeSamples returns a buffer of exactly n samples backed by *buf,
+// growing it when needed.
+func resizeSamples(buf *[]ibs.Sample, n int) []ibs.Sample {
+	if cap(*buf) < n {
+		*buf = make([]ibs.Sample, n)
+	}
+	return (*buf)[:n]
+}
+
+// remapTo4KInto rewrites samples of 2 MB (and 1 GB) pages onto their
+// 4 KB sub-pages, into a caller-owned reusable buffer (valid until the
+// buffer's next use) — the what-if view "if the large pages were split"
 // (§3.2.1: "we can map the data addresses to 4KB pages and compute the
 // same metrics for the scenario if the large pages were split").
-func remapTo4K(samples []ibs.Sample) []ibs.Sample {
-	out := make([]ibs.Sample, len(samples))
-	for i, s := range samples {
-		if s.Page.Sub < 0 {
-			chunk := int(s.Off / uint64(mem.Size2M))
-			sub := int(s.Off % uint64(mem.Size2M) / uint64(mem.Size4K))
-			s.Page = vm.PageID{Region: s.Page.Region, Chunk: chunk, Sub: sub}
+func remapTo4KInto(buf *[]ibs.Sample, samples []ibs.Sample) []ibs.Sample {
+	out := resizeSamples(buf, len(samples))
+	copy(out, samples)
+	for i := range out {
+		if p := &out[i]; p.Page.Sub < 0 {
+			chunk := int(p.Off / uint64(mem.Size2M))
+			sub := int(p.Off % uint64(mem.Size2M) / uint64(mem.Size4K))
+			p.Page = vm.PageID{Region: p.Page.Region, Chunk: chunk, Sub: sub}
 		}
-		out[i] = s
 	}
 	return out
 }
 
-// rebind refreshes sample page identities after splits so Carrefour's
-// placement pass operates on current granularities.
-func rebind(samples []ibs.Sample) []ibs.Sample {
-	out := make([]ibs.Sample, len(samples))
-	for i, s := range samples {
-		r := s.Page.Region
-		chunk := int(s.Off / uint64(mem.Size2M))
+// rebindInto refreshes sample page identities after splits so
+// Carrefour's placement pass operates on current granularities, writing
+// into a caller-owned reusable buffer.
+func rebindInto(buf *[]ibs.Sample, samples []ibs.Sample) []ibs.Sample {
+	out := resizeSamples(buf, len(samples))
+	copy(out, samples)
+	for i := range out {
+		p := &out[i]
+		r := p.Page.Region
+		chunk := int(p.Off / uint64(mem.Size2M))
 		info := r.ChunkInfo(chunk)
 		switch info.State {
 		case vm.Mapped4K:
-			s.Page = vm.PageID{Region: r, Chunk: chunk, Sub: int(s.Off % uint64(mem.Size2M) / uint64(mem.Size4K))}
+			p.Page = vm.PageID{Region: r, Chunk: chunk, Sub: int(p.Off % uint64(mem.Size2M) / uint64(mem.Size4K))}
 		case vm.Mapped2M:
-			s.Page = vm.PageID{Region: r, Chunk: chunk, Sub: -1}
+			p.Page = vm.PageID{Region: r, Chunk: chunk, Sub: -1}
 		case vm.Mapped1G:
-			s.Page = vm.PageID{Region: r, Chunk: info.GiantHead, Sub: -1}
+			p.Page = vm.PageID{Region: r, Chunk: info.GiantHead, Sub: -1}
 		}
-		out[i] = s
 	}
 	return out
 }

@@ -69,6 +69,11 @@ type Trident struct {
 
 	lastTick float64
 	tel      sim.Telemetry
+	// Reused per-tick scratch (see LP).
+	groupScratch carrefour.GroupScratch
+	twoMScratch  carrefour.GroupScratch
+	remapBuf     []ibs.Sample
+
 	// tick counts TickWith passes; coolUntil bars a demoted span
 	// (keyed by region ID and head chunk) from re-promotion until the
 	// recorded tick, so a span that stays NUMA-harmful oscillates at
@@ -116,13 +121,13 @@ func (tr *Trident) TickWith(env *sim.Env, v sim.View) float64 {
 	}
 	// Placement at the current granularity (Carrefour skips 1 GB pages:
 	// they are not migratable, which is exactly why demotion exists).
-	overhead += tr.Car.Apply(env, rebind(v.Samples))
+	overhead += tr.Car.Apply(env, rebindInto(&tr.remapBuf, v.Samples))
 	return overhead
 }
 
 // demote splits NUMA-harmful 1 GB pages down to 2 MB.
 func (tr *Trident) demote(env *sim.Env, samples []ibs.Sample) float64 {
-	groups := carrefour.GroupSamples(samples, env.Machine.Nodes)
+	groups := tr.groupScratch.Group(samples, env.Machine.Nodes)
 	var total float64
 	any := false
 	for i := range groups {
@@ -137,7 +142,7 @@ func (tr *Trident) demote(env *sim.Env, samples []ibs.Sample) float64 {
 	// The LP-style what-if: current LAR vs LAR after re-placing data at
 	// 2 MB granularity (remap every sample onto its 2 MB chunk).
 	cur := sampledLAR(groups)
-	twoM := estimatePlacementLAR(carrefour.GroupSamples(remapTo2M(samples), env.Machine.Nodes), env.Machine.Nodes)
+	twoM := estimatePlacementLAR(tr.twoMScratch.Group(remapTo2MInto(&tr.remapBuf, samples), env.Machine.Nodes), env.Machine.Nodes)
 	splitGain := twoM-cur > tr.Cfg.DemoteGainPct
 
 	var cycles float64
@@ -193,11 +198,12 @@ func isGiant(p vm.PageID) bool {
 	return p.Sub < 0 && p.Region.ChunkInfo(p.Chunk).State == vm.Mapped1G
 }
 
-// remapTo2M rewrites samples onto their 2 MB chunks, the what-if view
+// remapTo2MInto rewrites samples onto their 2 MB chunks, into a
+// caller-owned reusable buffer — the what-if view
 // "if the 1 GB pages were demoted" (the reactive component's §3.2.1
 // trick, one level up; it inherits the same sample-scarcity caveat).
-func remapTo2M(samples []ibs.Sample) []ibs.Sample {
-	out := make([]ibs.Sample, len(samples))
+func remapTo2MInto(buf *[]ibs.Sample, samples []ibs.Sample) []ibs.Sample {
+	out := resizeSamples(buf, len(samples))
 	for i, s := range samples {
 		if isGiant(s.Page) {
 			s.Page = vm.PageID{Region: s.Page.Region, Chunk: int(s.Off / uint64(mem.Size2M)), Sub: -1}

@@ -18,12 +18,12 @@ func TestByIDUnknown(t *testing.T) {
 
 func TestIDsComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 11 {
-		t.Fatalf("experiments = %d, want 11 (5 figures, 3 tables, overhead, verylarge, beyond)", len(ids))
+	if len(ids) != 12 {
+		t.Fatalf("experiments = %d, want 12 (5 figures, 3 tables, overhead, verylarge, beyond, fullscale)", len(ids))
 	}
 	for _, id := range ids {
 		found := false
-		for _, want := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "table1", "table2", "table3", "overhead", "verylarge", "beyond"} {
+		for _, want := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "table1", "table2", "table3", "overhead", "verylarge", "beyond", "fullscale"} {
 			if id == want {
 				found = true
 			}
@@ -206,8 +206,18 @@ func TestAllSharesOneMatrix(t *testing.T) {
 	if tot.Runs != sched.CachedCells() {
 		t.Fatalf("runs %d != cached cells %d", tot.Runs, sched.CachedCells())
 	}
-	if tot.Runs >= tot.Requested/2 {
-		t.Fatalf("expected >2x cross-experiment reuse: %d runs for %d declared cells", tot.Runs, tot.Requested)
+	// The reuse ratio is asserted over the quick-pass sections only:
+	// fullscale runs its own (scale 1.0, analytic) configuration, so its
+	// cells are unshareable by design and would dilute the ratio.
+	runs, requested := tot.Runs, tot.Requested
+	for _, res := range results {
+		if res.ID == "fullscale" {
+			runs -= res.Sweep.Runs
+			requested -= res.Sweep.Requested
+		}
+	}
+	if runs >= requested/2 {
+		t.Fatalf("expected >2x cross-experiment reuse: %d runs for %d declared cells", runs, requested)
 	}
 	var hits int
 	for _, res := range results {

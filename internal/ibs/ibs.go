@@ -109,6 +109,47 @@ func (s *Sampler) Maybe(rng *stats.Rng, sample Sample) float64 {
 	return s.Cfg.CyclesPerSample
 }
 
+// RecordScaled stores *sample with its Weight replaced by weight. It
+// exists for the engine's merge stage, which flushes thousands of
+// per-thread pending samples per epoch scaled by the epoch's progress
+// factor: taking a pointer avoids copying each ~100-byte sample twice
+// (once into the call, once into the buffer). The caller's sample is
+// not modified.
+func (s *Sampler) RecordScaled(sample *Sample, weight float64) {
+	node := int(sample.AccessorNode)
+	b := s.buffers[node]
+	if len(b) >= s.Cfg.MaxPerNode {
+		s.dropped++
+		return
+	}
+	if len(b) == cap(b) {
+		b = s.grow(b)
+	}
+	b = b[:len(b)+1]
+	p := &b[len(b)-1]
+	*p = *sample
+	p.Weight = weight
+	s.buffers[node] = b
+	s.taken++
+}
+
+// grow widens a per-node buffer toward MaxPerNode. Buffers climb toward
+// the cap (200 K samples by default) every interval; quadrupling bounded
+// by the cap copies far fewer bytes than append's doubling on the way
+// up.
+func (s *Sampler) grow(b []Sample) []Sample {
+	ncap := cap(b) * 4
+	if ncap < 1024 {
+		ncap = 1024
+	}
+	if ncap > s.Cfg.MaxPerNode {
+		ncap = s.Cfg.MaxPerNode
+	}
+	nb := make([]Sample, len(b), ncap)
+	copy(nb, b)
+	return nb
+}
+
 // Record unconditionally stores a sample (used by the engine's merge
 // stage and by replaying trace data).
 func (s *Sampler) Record(sample Sample) {
@@ -119,19 +160,7 @@ func (s *Sampler) Record(sample Sample) {
 		return
 	}
 	if len(b) == cap(b) {
-		// Buffers climb toward MaxPerNode (200 K samples by default)
-		// every interval; quadrupling bounded by the cap copies far fewer
-		// bytes than append's doubling on the way up.
-		ncap := cap(b) * 4
-		if ncap < 1024 {
-			ncap = 1024
-		}
-		if ncap > s.Cfg.MaxPerNode {
-			ncap = s.Cfg.MaxPerNode
-		}
-		nb := make([]Sample, len(b), ncap)
-		copy(nb, b)
-		b = nb
+		b = s.grow(b)
 	}
 	s.buffers[node] = append(b, sample)
 	s.taken++

@@ -65,12 +65,18 @@ func KeyOf(req runner.Request) Key {
 // and Go versions, unlike hashing the in-memory representation).
 // Config.Workers and Config.Pool are deliberately absent: the engine's
 // results are byte-identical for any worker count (enforced by test), so
-// cells differing only in parallelism must share one cache entry.
+// cells differing only in parallelism must share one cache entry. Every
+// other field — including Mode: a cached sampled result must never
+// answer an analytic cell — is covered, and
+// TestKeyCoversEveryConfigField enforces exhaustiveness by reflection,
+// so adding a sim.Config field without extending this serialization (or
+// the explicit exclusion list) fails the build's tests.
 func hashConfig(cfg sim.Config) uint64 {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%g|%d|%g|%d|%g|%g|%d|%g|%g|%g|%d",
-		cfg.EpochSeconds, cfg.SteadySamples, cfg.AllocRoundCycles,
-		cfg.MaxAllocPerEpoch, cfg.MaxSimSeconds, cfg.WorkScale, cfg.Seed,
+	fmt.Fprintf(h, "%d|%g|%d|%d|%g|%d|%g|%g|%d|%g|%g|%g|%d",
+		cfg.Mode, cfg.EpochSeconds, cfg.SteadySamples, cfg.AnalyticCensus,
+		cfg.AllocRoundCycles, cfg.MaxAllocPerEpoch, cfg.MaxSimSeconds,
+		cfg.WorkScale, cfg.Seed,
 		cfg.IBS.Rate, cfg.IBS.RecordRate, cfg.IBS.CyclesPerSample,
 		cfg.IBS.MaxPerNode)
 	return h.Sum64()

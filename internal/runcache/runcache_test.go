@@ -3,7 +3,6 @@ package runcache
 import (
 	"errors"
 	"fmt"
-	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -75,54 +74,11 @@ func TestKeyNormalization(t *testing.T) {
 	}
 }
 
-// TestHashConfigCoversEveryField guards hashConfig's hard-coded field
-// list: perturbing any field of sim.Config (recursing into embedded
-// structs like ibs.Config) must change the hash. A new config field that
-// is not added to hashConfig fails here instead of silently colliding
-// cache cells. Fields that can never change results — the engine's
-// parallelism knobs, whose irrelevance is enforced by
-// sim.TestResultIdenticalAcrossWorkerCounts — are excluded on purpose:
-// cells differing only in them MUST collide, that is the reuse.
-func TestHashConfigCoversEveryField(t *testing.T) {
-	excluded := map[string]bool{"Workers": true, "Pool": true}
-	base := hashConfig(sim.DefaultConfig())
-	var leaves []string
-	var collect func(tp reflect.Type, path string)
-	collect = func(tp reflect.Type, path string) {
-		for i := 0; i < tp.NumField(); i++ {
-			f := tp.Field(i)
-			if f.Type.Kind() == reflect.Struct {
-				collect(f.Type, path+f.Name+".")
-			} else {
-				leaves = append(leaves, path+f.Name)
-			}
-		}
-	}
-	collect(reflect.TypeOf(sim.Config{}), "")
-	for _, leaf := range leaves {
-		if excluded[leaf] {
-			continue
-		}
-		cfg := sim.DefaultConfig()
-		v := reflect.ValueOf(&cfg).Elem()
-		for _, part := range strings.Split(leaf, ".") {
-			v = v.FieldByName(part)
-		}
-		switch v.Kind() {
-		case reflect.Float64:
-			v.SetFloat(v.Float() + 12345.5)
-		case reflect.Int:
-			v.SetInt(v.Int() + 12345)
-		case reflect.Uint64:
-			v.SetUint(v.Uint() + 12345)
-		default:
-			t.Fatalf("unhandled config field kind %s for %s — extend this test and hashConfig", v.Kind(), leaf)
-		}
-		if hashConfig(cfg) == base {
-			t.Errorf("hashConfig ignores field %s — cells differing only in it would collide", leaf)
-		}
-	}
-}
+// The exhaustive field-coverage guard for hashConfig lives in
+// keyhash_test.go (TestKeyCoversEveryConfigField): it walks sim.Config
+// by reflection at the KeyOf level, so both the hash and the
+// seed-normalization path are covered, and asserts the parallelism
+// knobs stay excluded.
 
 func TestIdenticalCellsRunOnce(t *testing.T) {
 	fake := newFakeRunner()

@@ -1,0 +1,226 @@
+package sim
+
+// Analytic expectation-mode pricing (DESIGN.md §4.7). The paper's
+// phenomena — controller overload, LAR collapse, imbalance — are all
+// expectations over access distributions, so the per-sample Monte-Carlo
+// loop of priceSteady can be replaced by exact expected-value
+// accumulation per (thread, region): expected DRAM fetches from the
+// cache profile, expected walk and remote-walk cycles from the TLB
+// assessment, and the per-home-node traffic split from the region's
+// placement census (workloads.FillNodeDists). Policies still see a
+// hardware-shaped IBS stream: the expected sample counts are thinned
+// deterministically into real resolved pages.
+//
+// The analytic stage honors the same contracts as the sampled one: it
+// reads only the epoch snapshot and per-thread state, writes only
+// per-thread scratch plus commutative access accounting, allocates
+// nothing once scratch is warm, and produces byte-identical results for
+// any worker count (the merge stage is shared).
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ibs"
+	"repro/internal/stats"
+	"repro/internal/tlb"
+	"repro/internal/topo"
+	"repro/internal/vm"
+)
+
+// Mode selects the engine's steady-state pricing implementation.
+type Mode uint8
+
+const (
+	// ModeSampled is the Monte-Carlo loop of DESIGN.md §4.2: SteadySamples
+	// priced accesses per thread per epoch.
+	ModeSampled Mode = iota
+	// ModeAnalytic is the closed-form expectation engine of DESIGN.md
+	// §4.7; steady-state cost stops scaling with the sampled access
+	// count, making full-scale machine-B sweeps interactive.
+	ModeAnalytic
+)
+
+// String names the mode as the CLI's -mode flag spells it.
+func (m Mode) String() string {
+	switch m {
+	case ModeSampled:
+		return "sampled"
+	case ModeAnalytic:
+		return "analytic"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// ParseMode resolves a -mode flag value.
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(s) {
+	case "", "sampled":
+		return ModeSampled, nil
+	case "analytic":
+		return ModeAnalytic, nil
+	default:
+		return ModeSampled, fmt.Errorf("sim: unknown mode %q (want sampled or analytic)", s)
+	}
+}
+
+// priceAnalytic prices one thread's steady-state epoch in closed form.
+// All accumulations are kept in the same per-K-samples normalization as
+// the sampled loop (counts here are expectations over K = SteadySamples
+// accesses), so the shared merge stage and settleThread apply unchanged
+// and the flushed totals agree with the sampled engine in expectation.
+func (e *Engine) priceAnalytic(t, epoch int, epochCycles float64, assess tlb.Assessment, shared bool) {
+	px := e.beginPricing(t, epoch)
+	s := px.s
+	rng := &s.rng
+	spec := e.wl.Spec
+	tlbCfg := e.tlbModel.Cfg
+	core := px.core
+	src := px.src
+	startBudget := px.startBudget
+	ibsPerAccess := px.ibsPerAccess
+	work := px.work
+	phase := px.phase
+	latRow := px.latRow
+	ptHomes := e.ptHome // nil unless page-table locality pricing is on
+	fabRow := px.fabRow
+	mlp := px.mlp
+
+	K := float64(e.cfg.SteadySamples)
+	// Translation expectation shared by every region: L2-TLB hits plus
+	// the location-blind walk cost (the per-region NUMA surcharge of
+	// page-table pricing is added below).
+	transBase := assess.L2Hit*tlbCfg.L2HitCycles + assess.Miss*assess.WalkCycles
+	var sumCost float64 // expected cycles per access
+	var local, remote, dataL2, ptwL2, tlbMiss, churnCycles float64
+	for ri := range e.wl.Regions {
+		w := e.wl.RegionWeight(phase, ri)
+		if w <= 0 {
+			continue
+		}
+		br := e.wl.Regions[ri]
+		p := e.profiles[ri]
+		pd := p.DRAM()
+		cost := spec.ExtraCyclesPerAccess + ibsPerAccess + transBase +
+			p.L1*e.hier.L1Cycles + p.L2*e.hier.L2Cycles + p.L3*e.hier.L3Cycles
+		if ptHomes != nil {
+			home := int(ptHomes[ri])
+			if home < 0 {
+				home = src
+			} else if home != src {
+				cost += assess.Miss * assess.RemoteWalkCycles(fabRow[home])
+			}
+			s.walkCnt[home] += K * w * assess.Miss * assess.WalkDRAMFetches()
+		}
+		tlbMiss += K * w * assess.Miss
+		ptwL2 += K * w * assess.Miss * assess.WalkL2Misses
+		if br.Spec.ChurnPer1K > 0 {
+			cc := e.churnPer[ri]
+			cost += cc
+			churnCycles += K * w * cc
+			s.markFaulter = true
+		}
+		if pd > 0 {
+			dist := e.aDist[ri][t*e.nodes : (t+1)*e.nodes]
+			var dramLat float64
+			mapped := false
+			for h, f := range dist {
+				if f == 0 {
+					continue
+				}
+				mapped = true
+				dramLat += f * latRow[h]
+				s.homeCnt[h] += K * w * pd * f
+				if h == src {
+					local += K * w * pd * f
+				} else {
+					remote += K * w * pd * f
+				}
+			}
+			if !mapped {
+				// Nothing the thread touches is mapped yet: first-touch
+				// placement lands those pages on the accessor's node.
+				dramLat = latRow[src]
+				s.homeCnt[src] += K * w * pd
+				local += K * w * pd
+			}
+			cost += pd * dramLat * mlp
+		}
+		dataL2 += K * w * (p.L3 + pd)
+		sumCost += w * cost
+	}
+
+	// Ground-truth census: a handful of resolved (not priced) draws per
+	// epoch keeps the per-page accounting behind PAMUP/NHP/PSP populated
+	// and materializes lazily faulted regions, at a fraction of the
+	// sampled loop's cost.
+	var faultDirect float64
+	for i := 0; i < e.cfg.AnalyticCensus; i++ {
+		acc := e.wl.NextSteadyPhase(t, rng, phase)
+		_, fcost := e.resolveDraw(s, int32(acc.RegionIdx), t, core, acc.Off, shared)
+		faultDirect += fcost
+	}
+
+	faultDirect += e.thinIBS(t, phase, src, core, s, rng, K, shared)
+
+	if !e.settleThread(t, phase, startBudget, epochCycles, sumCost, faultDirect, work) {
+		return
+	}
+	s.local, s.remote, s.dataL2 = local, remote, dataL2
+	s.ptwL2, s.tlbMiss, s.churn = ptwL2, tlbMiss, churnCycles
+}
+
+// thinIBS is the deterministic IBS thinning stage: per region, it emits
+// the expected number of DRAM-serviced samples (K·weight·P(DRAM)·
+// RecordRate, with fractions carried across epochs in ibsCarry), drawing
+// each sample's offset from the thread's own access distribution and
+// resolving it against the real page table — policies keep seeing a
+// hardware-shaped stream of genuine pages at the volume real hardware
+// would deliver. It returns the direct fault cycles of draws that hit
+// unmapped pages (zero once a workload is fully faulted in).
+func (e *Engine) thinIBS(t, phase, src int, core topo.CoreID, s *threadScratch, rng *stats.Rng, K float64, shared bool) float64 {
+	rr := e.cfg.IBS.RecordRate
+	if rr <= 0 {
+		return 0
+	}
+	var faultDirect float64
+	for ri := range e.wl.Regions {
+		w := e.wl.RegionWeight(phase, ri)
+		pd := e.profiles[ri].DRAM()
+		exp := K*w*pd*rr + s.ibsCarry[ri]
+		n := int(exp)
+		s.ibsCarry[ri] = exp - float64(n)
+		for j := 0; j < n; j++ {
+			off := e.wl.SteadyOffset(t, ri, rng)
+			res, fcost := e.resolveDraw(s, int32(ri), t, core, off, shared)
+			faultDirect += fcost
+			s.samples = append(s.samples, ibs.Sample{
+				Page: res.Page, Off: off, Thread: t, Core: core,
+				AccessorNode: topo.NodeID(src), HomeNode: res.Node, DRAM: true,
+			})
+		}
+	}
+	return faultDirect
+}
+
+// resolveDraw resolves one ground-truth draw exactly as the sampled loop
+// resolves an access: mapped pages record their accounting in place
+// (vm.PeekRecord's commutative updates), unmapped pages plan a fault
+// with read-your-writes against the thread's pending faults and defer
+// the mutation to the merge stage.
+func (e *Engine) resolveDraw(s *threadScratch, ri int32, t int, core topo.CoreID, off uint64, shared bool) (vm.AccessResult, float64) {
+	br := e.wl.Regions[ri]
+	res, st := br.VM.PeekRecord(off, t, shared)
+	if st == vm.PeekMapped {
+		return res, 0
+	}
+	res, fcost := s.resolveFault(br.VM, ri, core, off)
+	if fcost > 0 {
+		s.faultLog = append(s.faultLog, accessRec{off: off, cost: fcost, region: ri})
+	}
+	if st == vm.PeekUnmappedChunk {
+		s.acctLog = append(s.acctLog, accessRec{off: off, region: ri})
+	}
+	return res, fcost
+}

@@ -93,6 +93,93 @@ func BenchmarkSteadyEpoch(b *testing.B) {
 	}
 }
 
+// analyticEngine is steadyEngine in ModeAnalytic.
+func analyticEngine(tb testing.TB) *Engine {
+	tb.Helper()
+	spec, err := workloads.ByName("CG.D")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.WorkScale = 0.05
+	cfg.Mode = ModeAnalytic
+	eng, err := New(topo.MachineB(), spec, &thpOn{}, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return eng
+}
+
+// priceOneEpochAnalytic is priceOneEpoch for the analytic stage.
+func priceOneEpochAnalytic(e *Engine, assess tlb.Assessment, epochCycles float64) {
+	e.refreshNodeDists()
+	for t := 0; t < e.threads; t++ {
+		e.budgets[t] = epochCycles
+		e.progress[t] = 0
+		e.finishTime[t] = -1
+		e.stolen[t] = 0
+		e.ts[t].ran = true
+		e.priceAnalytic(t, 0, epochCycles, assess, false)
+	}
+}
+
+// TestAnalyticEpochZeroAlloc pins the §4.6 zero-allocation invariant for
+// the analytic pricing stage (DESIGN.md §4.7): closed-form accumulation,
+// census draws, deterministic IBS thinning and the placement-census
+// refresh all run on reused scratch.
+func TestAnalyticEpochZeroAlloc(t *testing.T) {
+	eng := analyticEngine(t)
+	assess, epochCycles := primeSteady(t, eng)
+	priceOneEpochAnalytic(eng, assess, epochCycles) // warm scratch capacity
+	allocs := testing.AllocsPerRun(10, func() {
+		priceOneEpochAnalytic(eng, assess, epochCycles)
+	})
+	if allocs != 0 {
+		t.Fatalf("analytic pricing allocates %.1f times per epoch, want 0", allocs)
+	}
+}
+
+// BenchmarkAnalyticEpoch is BenchmarkSteadyEpoch's analytic twin:
+// pricing one full steady-state epoch for the 64 threads of machine B in
+// closed form. Run with -benchmem; allocations must be 0 (also enforced
+// by TestAnalyticEpochZeroAlloc). Compare against BenchmarkSteadyEpoch
+// for the per-epoch engine speedup.
+func BenchmarkAnalyticEpoch(b *testing.B) {
+	eng := analyticEngine(b)
+	assess, epochCycles := primeSteady(b, eng)
+	priceOneEpochAnalytic(eng, assess, epochCycles) // warm scratch capacity
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		priceOneEpochAnalytic(eng, assess, epochCycles)
+	}
+}
+
+// BenchmarkIBSThinning isolates the deterministic sample-thinning stage:
+// expected-count emission with real page resolution for all 64 threads.
+func BenchmarkIBSThinning(b *testing.B) {
+	eng := analyticEngine(b)
+	assess, epochCycles := primeSteady(b, eng)
+	priceOneEpochAnalytic(eng, assess, epochCycles) // warm scratch + carries
+	K := float64(eng.cfg.SteadySamples)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for t := 0; t < eng.threads; t++ {
+			s := &eng.ts[t]
+			s.samples = s.samples[:0]
+			s.faultLog = s.faultLog[:0]
+			s.acctLog = s.acctLog[:0]
+			s.pendFaults = s.pendFaults[:0]
+			core := eng.core(t)
+			src := int(eng.machine.NodeOf(core))
+			eng.thinIBS(t, 0, src, core, s, &s.rng, K, false)
+		}
+	}
+	_ = assess
+	_ = epochCycles
+}
+
 // BenchmarkSteadyEpochParallel is BenchmarkSteadyEpoch through the real
 // fan-out path (worker pool, atomic accounting), for comparing the
 // shared-accounting overhead and the scaling on multi-core hosts.

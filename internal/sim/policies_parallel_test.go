@@ -27,19 +27,28 @@ func TestResultIdenticalAcrossWorkerCounts(t *testing.T) {
 	// daemon has something to act on; CG.D on machine B additionally
 	// covers the 64-thread hot-page path for two representative
 	// policies without making the matrix quadratic.
-	type cell struct{ machine, workload, pol string }
+	// Both pricing modes go through the matrix: the analytic stage has
+	// its own deferred-accounting surface (census draws, thinned-sample
+	// resolution) that must stay schedule-independent too.
+	type cell struct {
+		machine, workload, pol string
+		mode                   sim.Mode
+	}
 	var cells []cell
 	for _, name := range policy.Names() {
-		cells = append(cells, cell{"A", "UA.B", name})
+		cells = append(cells, cell{"A", "UA.B", name, sim.ModeSampled})
+		cells = append(cells, cell{"A", "UA.B", name, sim.ModeAnalytic})
 	}
 	cells = append(cells,
-		cell{"B", "CG.D", "THP"},
-		cell{"B", "CG.D", "TridentLP"},
+		cell{"B", "CG.D", "THP", sim.ModeSampled},
+		cell{"B", "CG.D", "THP", sim.ModeAnalytic},
+		cell{"B", "CG.D", "TridentLP", sim.ModeSampled},
+		cell{"B", "CG.D", "TridentLP", sim.ModeAnalytic},
 	)
 	counts := []int{1, 2, runtime.NumCPU()}
 	for _, c := range cells {
 		c := c
-		t.Run(c.machine+"/"+c.workload+"/"+c.pol, func(t *testing.T) {
+		t.Run(c.machine+"/"+c.workload+"/"+c.pol+"/"+c.mode.String(), func(t *testing.T) {
 			machine := topo.MachineA()
 			if c.machine == "B" {
 				machine = topo.MachineB()
@@ -57,6 +66,7 @@ func TestResultIdenticalAcrossWorkerCounts(t *testing.T) {
 				cfg := sim.DefaultConfig()
 				cfg.WorkScale = 0.05
 				cfg.Workers = workers
+				cfg.Mode = c.mode
 				eng, err := sim.New(machine, spec, pol, cfg)
 				if err != nil {
 					t.Fatal(err)

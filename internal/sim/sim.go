@@ -42,11 +42,24 @@ import (
 
 // Config tunes the engine.
 type Config struct {
+	// Mode selects the steady-state pricing implementation: ModeSampled
+	// (the default) prices SteadySamples representative accesses per
+	// thread per epoch; ModeAnalytic accumulates the same quantities in
+	// closed form per (thread, region) and thins the expected event
+	// counts into a deterministic IBS sample stream (DESIGN.md §4.7).
+	// Allocation phases always run at full fidelity regardless of mode.
+	Mode Mode
 	// EpochSeconds is the simulation quantum.
 	EpochSeconds float64
 	// SteadySamples is the number of priced accesses per thread per epoch
 	// in steady state.
 	SteadySamples int
+	// AnalyticCensus is the number of ground-truth census draws per
+	// thread per steady epoch in ModeAnalytic: resolved (not priced)
+	// accesses that keep the per-page accounting behind PAMUP/NHP/PSP
+	// populated and materialize lazy mappings. Ignored by ModeSampled,
+	// whose priced accesses are their own census.
+	AnalyticCensus int
 	// AllocRoundCycles is the simulated-time slice each thread gets per
 	// allocation round before the engine rotates to the next thread.
 	// Interleaving by time (not by touch count) reproduces the race of
@@ -86,6 +99,7 @@ func DefaultConfig() Config {
 	return Config{
 		EpochSeconds:     0.05,
 		SteadySamples:    320,
+		AnalyticCensus:   8,
 		AllocRoundCycles: 250000,
 		MaxAllocPerEpoch: 50000,
 		MaxSimSeconds:    900,
@@ -290,6 +304,7 @@ type threadScratch struct {
 	faultLog   []accessRec // fresh faults to replay via ApplyFault
 	acctLog    []accessRec // unmapped-chunk accounting to replay after faults
 	pendFaults []pendingFault
+	ibsCarry   []float64 // per-region fractional thinned samples (ModeAnalytic)
 
 	// pricing outputs consumed by the merge stage
 	scale        float64
@@ -344,6 +359,13 @@ type Engine struct {
 	// replicated everywhere or not yet allocated).
 	fabLat []float64
 	ptHome []int32
+	// Analytic-mode placement census (ModeAnalytic only): per region,
+	// the per-thread home-node access distribution (aDist[ri][t*nodes+h],
+	// workloads.FillNodeDists) and the vm mapping generation it was
+	// computed at, so the O(mapped pages) refresh runs only when a
+	// policy actually moved something.
+	aDist    [][]float64
+	aDistGen []uint64
 
 	// Reusable epoch scratch.
 	budgets     []float64
@@ -401,6 +423,17 @@ func New(m *topo.Machine, spec workloads.Spec, policy OS, cfg Config) (*Engine, 
 	for t := range e.ts {
 		e.ts[t].homeCnt = make([]float64, e.nodes)
 		e.ts[t].samples = make([]ibs.Sample, 0, 64)
+	}
+	if cfg.Mode == ModeAnalytic {
+		e.aDist = make([][]float64, len(wl.Regions))
+		e.aDistGen = make([]uint64, len(wl.Regions))
+		for ri := range e.aDist {
+			e.aDist[ri] = make([]float64, e.threads*e.nodes)
+			e.aDistGen[ri] = ^uint64(0) // force the first refresh
+		}
+		for t := range e.ts {
+			e.ts[t].ibsCarry = make([]float64, len(wl.Regions))
+		}
 	}
 	policy.Setup(e.env)
 	if e.env.PageTables != nil {
@@ -507,6 +540,21 @@ func (e *Engine) snapshotEpoch() {
 	}
 }
 
+// refreshNodeDists updates the analytic placement census for regions
+// whose mapping generation moved (faults, migrations, splits,
+// promotions) — steady epochs under a quiet policy skip the
+// O(mapped pages) walk entirely. It must run after the epoch's
+// allocation rounds so the first steady epoch prices the post-barrier
+// placement, exactly like the sampled loop's page-table lookups.
+func (e *Engine) refreshNodeDists() {
+	for ri, br := range e.wl.Regions {
+		if g := br.VM.Gen(); g != e.aDistGen[ri] {
+			e.wl.FillNodeDists(ri, e.nodes, e.aDist[ri])
+			e.aDistGen[ri] = g
+		}
+	}
+}
+
 // runEpoch simulates one epoch; it reports whether the workload finished.
 func (e *Engine) runEpoch(epoch int, epochCycles float64) bool {
 	e.env.Space.BeginEpoch()
@@ -553,6 +601,15 @@ func (e *Engine) runEpoch(epoch int, epochCycles float64) bool {
 		nrun++
 	}
 	if nrun > 0 {
+		if e.aDist != nil {
+			// The census must track every placement change immediately:
+			// pricing even a few epochs of stale placement feeds wrong
+			// traffic into the controller models, and the migration
+			// daemons' control loops amplify the error (tested: a
+			// 4-epoch refresh throttle moved imbalance by >20 points on
+			// migration-heavy cells).
+			e.refreshNodeDists()
+		}
 		// Stage 1 (parallel): price every runnable thread's epoch against
 		// the shared read-only snapshot, into per-thread scratch.
 		e.priceAll(epoch, epochCycles, assess, nrun)
@@ -624,7 +681,7 @@ func (e *Engine) priceAll(epoch int, epochCycles float64, assess tlb.Assessment,
 	if workers <= 1 {
 		for t := 0; t < e.threads; t++ {
 			if e.ts[t].ran {
-				e.priceSteady(t, epoch, epochCycles, assess, false)
+				e.priceThread(t, epoch, epochCycles, assess, false)
 			}
 		}
 		return
@@ -641,7 +698,7 @@ func (e *Engine) priceAll(epoch int, epochCycles float64, assess tlb.Assessment,
 					return
 				}
 				if e.ts[t].ran {
-					e.priceSteady(t, epoch, epochCycles, assess, true)
+					e.priceThread(t, epoch, epochCycles, assess, true)
 				}
 			}
 		}()
@@ -649,26 +706,42 @@ func (e *Engine) priceAll(epoch int, epochCycles float64, assess tlb.Assessment,
 	wg.Wait()
 }
 
-// priceSteady prices one thread's steady-state epoch into its scratch.
-// It reads only the epoch snapshot, per-thread state and the (stable
-// between epochs) mapping tables, and writes only per-thread state plus
-// the commutative access accounting (atomically when shared is set) — it
-// must not otherwise touch the shared models, which stage 2 updates in
-// thread order. This loop is the hottest code in the repository and
-// holds the zero-allocation invariant asserted by BenchmarkSteadyEpoch.
-func (e *Engine) priceSteady(t, epoch int, epochCycles float64, assess tlb.Assessment, shared bool) {
+// priceThread prices one thread's steady-state epoch under the
+// configured mode. Both implementations share the contract documented on
+// priceSteady: read only the epoch snapshot and per-thread state, write
+// only per-thread scratch plus commutative access accounting.
+func (e *Engine) priceThread(t, epoch int, epochCycles float64, assess tlb.Assessment, shared bool) {
+	if e.cfg.Mode == ModeAnalytic {
+		e.priceAnalytic(t, epoch, epochCycles, assess, shared)
+		return
+	}
+	e.priceSteady(t, epoch, epochCycles, assess, shared)
+}
+
+// pricingCtx is the per-thread epoch context shared by both pricing
+// stages: the thread's reset scratch plus the read-only row views of the
+// epoch snapshot. Centralizing it in beginPricing keeps the two stages
+// from drifting — a scratch field whose reset appears in only one mode
+// would carry stale state across epochs there.
+type pricingCtx struct {
+	s           *threadScratch
+	core        topo.CoreID
+	src         int
+	startBudget float64
+	// ibsPerAccess is the expected IBS interrupt overhead per access.
+	ibsPerAccess float64
+	work         float64
+	phase        int
+	latRow       []float64
+	fabRow       []float64 // nil unless page-table locality pricing is on
+	mlp          float64
+}
+
+// beginPricing re-seeds thread t's epoch stream, clears its scratch, and
+// assembles the context both pricing implementations consume.
+func (e *Engine) beginPricing(t, epoch int) pricingCtx {
 	s := &e.ts[t]
 	e.rng.SplitInto(uint64(epoch)<<20|uint64(t)<<1|1, &s.rng)
-	rng := &s.rng
-	spec := e.wl.Spec
-	tlbCfg := e.tlbModel.Cfg
-	core := e.core(t)
-	src := int(e.machine.NodeOf(core))
-	startBudget := e.budgets[t]
-
-	// Expected IBS interrupt overhead per access.
-	ibsPerAccess := e.cfg.IBS.Rate * e.cfg.IBS.CyclesPerSample
-
 	for i := range s.homeCnt {
 		s.homeCnt[i] = 0
 	}
@@ -683,18 +756,50 @@ func (e *Engine) priceSteady(t, epoch int, epochCycles float64, assess tlb.Asses
 	s.flush = false
 	s.finished = false
 
-	work := spec.WorkPerThread
+	spec := e.wl.Spec
+	px := pricingCtx{
+		s:            s,
+		core:         e.core(t),
+		startBudget:  e.budgets[t],
+		ibsPerAccess: e.cfg.IBS.Rate * e.cfg.IBS.CyclesPerSample,
+		work:         spec.WorkPerThread,
+		mlp:          1 - spec.MLPOverlap,
+	}
+	px.src = int(e.machine.NodeOf(px.core))
 	if e.cfg.WorkScale > 0 {
-		work *= e.cfg.WorkScale
+		px.work *= e.cfg.WorkScale
 	}
-	phase := e.wl.PhaseAt(e.progress[t] / work)
-	latRow := e.lat[src*e.nodes : (src+1)*e.nodes]
+	px.phase = e.wl.PhaseAt(e.progress[t] / px.work)
+	px.latRow = e.lat[px.src*e.nodes : (px.src+1)*e.nodes]
+	if e.ptHome != nil {
+		px.fabRow = e.fabLat[px.src*e.nodes : (px.src+1)*e.nodes]
+	}
+	return px
+}
+
+// priceSteady prices one thread's steady-state epoch into its scratch.
+// It reads only the epoch snapshot, per-thread state and the (stable
+// between epochs) mapping tables, and writes only per-thread state plus
+// the commutative access accounting (atomically when shared is set) — it
+// must not otherwise touch the shared models, which stage 2 updates in
+// thread order. This loop is the hottest code in the repository and
+// holds the zero-allocation invariant asserted by BenchmarkSteadyEpoch.
+func (e *Engine) priceSteady(t, epoch int, epochCycles float64, assess tlb.Assessment, shared bool) {
+	px := e.beginPricing(t, epoch)
+	s := px.s
+	rng := &s.rng
+	spec := e.wl.Spec
+	tlbCfg := e.tlbModel.Cfg
+	core := px.core
+	src := px.src
+	startBudget := px.startBudget
+	ibsPerAccess := px.ibsPerAccess
+	work := px.work
+	phase := px.phase
+	latRow := px.latRow
 	ptHomes := e.ptHome // nil unless page-table locality pricing is on
-	var fabRow []float64
-	if ptHomes != nil {
-		fabRow = e.fabLat[src*e.nodes : (src+1)*e.nodes]
-	}
-	mlp := 1 - spec.MLPOverlap
+	fabRow := px.fabRow
+	mlp := px.mlp
 
 	var sumCost, faultDirect float64
 	var local, remote, dataL2, ptwL2, tlbMiss, churnCycles float64
@@ -780,16 +885,28 @@ func (e *Engine) priceSteady(t, epoch int, epochCycles float64, assess tlb.Asses
 		sumCost += cost
 	}
 
-	e.budgets[t] -= faultDirect
-	if e.budgets[t] <= 0 {
-		// Fault time alone ate the budget: no scaled progress this epoch.
-		// The deferred access log still replays (the faults really
-		// happened); only the scaled flush is skipped.
-		e.stolen[t] = -e.budgets[t]
+	if !e.settleThread(t, phase, startBudget, epochCycles, sumCost/float64(K), faultDirect, work) {
 		return
 	}
+	s.local, s.remote, s.dataL2 = local, remote, dataL2
+	s.ptwL2, s.tlbMiss, s.churn = ptwL2, tlbMiss, churnCycles
+}
+
+// settleThread is the pricing epilogue shared by the sampled and
+// analytic stages: it charges direct fault time, converts the average
+// per-access cost into scaled progress (clamped to the next phase
+// boundary and the thread's remaining work), and fixes the epoch's
+// flush scale. It reports false when fault time alone ate the budget —
+// no scaled progress this epoch; the deferred access log still replays
+// (the faults really happened), only the scaled flush is skipped.
+func (e *Engine) settleThread(t, phase int, startBudget, epochCycles, avg, faultDirect, work float64) bool {
+	s := &e.ts[t]
+	e.budgets[t] -= faultDirect
+	if e.budgets[t] <= 0 {
+		e.stolen[t] = -e.budgets[t]
+		return false
+	}
 	s.flush = true
-	avg := sumCost / float64(K)
 	if avg <= 0 {
 		avg = 1
 	}
@@ -816,9 +933,8 @@ func (e *Engine) priceSteady(t, epoch int, epochCycles float64, assess tlb.Asses
 	}
 	e.progress[t] += realAccesses
 	s.realAccesses = realAccesses
-	s.scale = realAccesses / float64(K)
-	s.local, s.remote, s.dataL2 = local, remote, dataL2
-	s.ptwL2, s.tlbMiss, s.churn = ptwL2, tlbMiss, churnCycles
+	s.scale = realAccesses / float64(e.cfg.SteadySamples)
+	return true
 }
 
 // resolveFault prices a steady-state touch of an unmapped page during
@@ -899,9 +1015,7 @@ func (e *Engine) mergeSteady(t int) {
 		e.env.Fabric.Record(src, home, cnt*scale)
 	}
 	for i := range s.samples {
-		smp := s.samples[i]
-		smp.Weight = scale
-		e.env.Sampler.Record(smp)
+		e.env.Sampler.RecordScaled(&s.samples[i], scale)
 	}
 	e.counters.Accesses += s.realAccesses
 	e.counters.LocalDRAM += s.local * scale

@@ -132,9 +132,15 @@ func (a Assessment) RemoteWalkCycles(fabricCycles float64) float64 {
 // pricing is enabled.
 func (a Assessment) WalkDRAMFetches() float64 { return a.WalkL2Misses }
 
-// Model evaluates assessments under a fixed configuration.
+// Model evaluates assessments under a fixed configuration. Assess runs
+// once per simulated epoch on reusable scratch, so a Model must not be
+// shared between concurrently running engines.
 type Model struct {
 	Cfg Config
+
+	// Assess scratch, reused across epochs.
+	work, remaining []Segment
+	cover           []float64
 }
 
 // NewModel returns a model with the given configuration.
@@ -148,7 +154,7 @@ func NewModel(cfg Config) *Model { return &Model{Cfg: cfg} }
 func (m *Model) Assess(segs []Segment) Assessment {
 	// Separate streamed segments (one miss per page, no capacity
 	// competition) from capacity-bound ones.
-	work := make([]Segment, 0, len(segs))
+	work := m.work[:0]
 	var totalWeight, seqL1, seqMiss, seqWalkCycles, seqWalkL2 float64
 	var ptFootSeq uint64
 	for _, s := range segs {
@@ -170,6 +176,7 @@ func (m *Model) Assess(segs []Segment) Assessment {
 		}
 		work = append(work, s)
 	}
+	m.work = work
 	if totalWeight <= 0 {
 		return Assessment{L1Hit: 1}
 	}
@@ -189,7 +196,10 @@ func (m *Model) Assess(segs []Segment) Assessment {
 	// Fill L1 with the hottest pages regardless of size.
 	l1 := float64(m.Cfg.L1Entries)
 	var l1Hit float64
-	remaining := make([]Segment, len(work))
+	if cap(m.remaining) < len(work) {
+		m.remaining = make([]Segment, len(work))
+	}
+	remaining := m.remaining[:len(work)]
 	copy(remaining, work)
 	for i := range remaining {
 		if l1 <= 0 {
@@ -207,30 +217,36 @@ func (m *Model) Assess(segs []Segment) Assessment {
 	}
 
 	// Fill each L2 class with the hottest remaining pages of its size.
-	budget := map[mem.PageSize]float64{
-		mem.Size4K: float64(m.Cfg.L2Entries4K),
-		mem.Size2M: float64(m.Cfg.L2Entries2M),
-		mem.Size1G: float64(m.Cfg.L2Entries1G),
-	}
+	budget4K := float64(m.Cfg.L2Entries4K)
+	budget2M := float64(m.Cfg.L2Entries2M)
+	budget1G := float64(m.Cfg.L2Entries1G)
 	var l2Hit float64
 	for i := range remaining {
 		s := &remaining[i]
 		if s.Weight <= 0 || s.Pages <= 0 {
 			continue
 		}
-		b := budget[s.Size]
-		if b <= 0 {
+		var b *float64
+		switch s.Size {
+		case mem.Size4K:
+			b = &budget4K
+		case mem.Size2M:
+			b = &budget2M
+		default:
+			b = &budget1G
+		}
+		if *b <= 0 {
 			continue
 		}
 		take := s.Pages
-		if take > b {
-			take = b
+		if take > *b {
+			take = *b
 		}
 		frac := take / s.Pages
 		l2Hit += s.Weight * frac
 		s.Weight *= 1 - frac
 		s.Pages -= take
-		budget[s.Size] = b - take
+		*b -= take
 	}
 
 	// Leaf-PTE cache coverage: the paging caches and the L2's share of
@@ -240,7 +256,13 @@ func (m *Model) Assess(segs []Segment) Assessment {
 	// for warm pages (in the PT cache but past TLB reach) stay cheap
 	// while walks for genuinely cold pages go to DRAM.
 	pteBudget := float64(m.Cfg.PTCacheBytes) / 8
-	cover := make([]float64, len(work))
+	if cap(m.cover) < len(work) {
+		m.cover = make([]float64, len(work))
+	}
+	cover := m.cover[:len(work)]
+	for i := range cover {
+		cover[i] = 0
+	}
 	for i, s := range work {
 		if pteBudget <= 0 {
 			break

@@ -1,0 +1,72 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/topo"
+)
+
+// TestGenTracksEveryMutation pins that every mapping mutation bumps the
+// region's generation — the invalidation signal behind the analytic
+// engine's placement census (DESIGN.md §4.7). A mutation that forgets
+// to bump leaves the census stale and silently mis-prices traffic.
+func TestGenTracksEveryMutation(t *testing.T) {
+	m := topo.MachineA()
+	phys := mem.NewSystem(m, mem.LatencyParamsFor(m.Name))
+	space := NewAddrSpace(m, phys, DefaultFaultParams())
+	costs := DefaultOpCosts()
+
+	r := space.Mmap("gen", 2<<30, true)
+	expect := func(step string, mutated bool, g0 uint64) uint64 {
+		t.Helper()
+		g := r.Gen()
+		if mutated && g == g0 {
+			t.Fatalf("%s did not bump the generation", step)
+		}
+		if !mutated && g != g0 {
+			t.Fatalf("%s bumped the generation without mutating", step)
+		}
+		return g
+	}
+
+	g := r.Gen()
+	r.Access(0, 0, 0) // 4K fault
+	g = expect("4K fault", true, g)
+	r.Access(0, 0, 0) // mapped access: no mutation
+	g = expect("mapped access", false, g)
+
+	space.AllocSize = func(*Region, int) mem.PageSize { return mem.Size2M }
+	r.Access(0, 0, 4<<20) // 2M fault
+	g = expect("2M fault", true, g)
+
+	if _, ok := r.MigrateChunk(2, 1, costs); !ok {
+		t.Fatal("migrate failed")
+	}
+	g = expect("MigrateChunk", true, g)
+	if _, ok := r.SplitChunk(2, costs); !ok {
+		t.Fatal("split failed")
+	}
+	g = expect("SplitChunk", true, g)
+	if _, ok := r.MigrateSub(2, 0, 2, costs); !ok {
+		t.Fatal("migrate sub failed")
+	}
+	g = expect("MigrateSub", true, g)
+	if _, ok := r.PromoteChunk(2, 0, 1, costs); !ok {
+		t.Fatal("promote failed")
+	}
+	g = expect("PromoteChunk", true, g)
+
+	if err := r.MapGiant(512, 0); err != nil {
+		t.Fatal(err)
+	}
+	g = expect("MapGiant", true, g)
+	if _, ok := r.SplitGiant(512, costs); !ok {
+		t.Fatal("split giant failed")
+	}
+	g = expect("SplitGiant", true, g)
+	if _, ok := r.PromoteGiant(512, costs); !ok {
+		t.Fatal("promote giant failed")
+	}
+	expect("PromoteGiant", true, g)
+}

@@ -115,6 +115,7 @@ func (r *Region) MigrateChunk(ci int, to topo.NodeID, costs OpCosts) (float64, b
 	}
 	r.Space.Phys.Free(c.node, mem.Size2M)
 	c.node = to
+	r.mutated()
 	return costs.Migrate2M, true
 }
 
@@ -133,6 +134,7 @@ func (r *Region) MigrateSub(ci, sub int, to topo.NodeID, costs OpCosts) (float64
 	}
 	r.Space.Phys.Free(from, mem.Size4K)
 	c.mapSub(sub, to)
+	r.mutated()
 	return costs.Migrate4K, true
 }
 
@@ -159,6 +161,7 @@ func (r *Region) SplitChunk(ci int, costs OpCosts) (float64, bool) {
 	c.threadMask = 0
 	r.count2M--
 	r.count4K += SubsPerChunk
+	r.mutated()
 	return costs.Split2M, true
 }
 
@@ -220,6 +223,7 @@ func (r *Region) PromoteChunk(ci int, to topo.NodeID, minSubs int, costs OpCosts
 	c.accesses = 0
 	r.count4K -= mapped
 	r.count2M++
+	r.mutated()
 	return cycles, true
 }
 
@@ -289,6 +293,7 @@ func (r *Region) MapGiant(head int, node topo.NodeID) error {
 	}
 	r.Space.faultCount1G++
 	r.count1G++
+	r.mutated()
 	return nil
 }
 
@@ -333,6 +338,7 @@ func (r *Region) PromoteGiant(head int, costs OpCosts) (float64, bool) {
 	r.chunks[head].node = node
 	r.count2M -= span
 	r.count1G++
+	r.mutated()
 	return cycles, true
 }
 
@@ -367,6 +373,7 @@ func (r *Region) SplitGiant(head int, costs OpCosts) (float64, bool) {
 	}
 	r.count1G--
 	r.count2M += span
+	r.mutated()
 	return costs.Split1G, true
 }
 
@@ -410,6 +417,76 @@ func (r *Region) ForEachPage(f func(PageAccess)) {
 			}
 		}
 	}
+}
+
+// Spans visits the maximal same-node mapped byte spans of [lo, hi)
+// (region-relative offsets) in ascending order and returns the number of
+// unmapped bytes in the range. Runs of 4 KB pages on one node coalesce
+// into a single call, so a query over a split-but-unmigrated chunk costs
+// one visit. This is the census primitive behind the analytic engine's
+// per-thread home-node distributions (DESIGN.md §4.7).
+func (r *Region) Spans(lo, hi uint64, fn func(node topo.NodeID, spanLo, spanHi uint64)) (unmappedBytes uint64) {
+	if hi > uint64(len(r.chunks))*uint64(mem.Size2M) {
+		hi = uint64(len(r.chunks)) * uint64(mem.Size2M)
+	}
+	if lo >= hi {
+		return 0
+	}
+	// Pending coalesced span (valid when runHi > runLo).
+	var runNode topo.NodeID
+	var runLo, runHi uint64
+	emit := func(node topo.NodeID, a, b uint64) {
+		if runHi > runLo && node == runNode && a == runHi {
+			runHi = b
+			return
+		}
+		if runHi > runLo {
+			fn(runNode, runLo, runHi)
+		}
+		runNode, runLo, runHi = node, a, b
+	}
+	for ci := int(lo >> chunkShift); ci <= int((hi-1)>>chunkShift); ci++ {
+		base := uint64(ci) << chunkShift
+		a, b := base, base+uint64(mem.Size2M)
+		if a < lo {
+			a = lo
+		}
+		if b > hi {
+			b = hi
+		}
+		c := &r.chunks[ci]
+		switch c.state {
+		case state2M:
+			emit(c.node, a, b)
+		case state1G:
+			emit(r.chunks[c.giantHead].node, a, b)
+		case state4K:
+			for sub := int((a - base) >> subShift); sub < SubsPerChunk; sub++ {
+				sa := base + uint64(sub)<<subShift
+				if sa >= b {
+					break
+				}
+				sb := sa + uint64(mem.Size4K)
+				if sa < a {
+					sa = a
+				}
+				if sb > b {
+					sb = b
+				}
+				if n := c.subNode[sub]; n != unmappedNode {
+					emit(topo.NodeID(n), sa, sb)
+				} else {
+					unmappedBytes += sb - sa
+				}
+			}
+		default:
+			unmappedBytes += b - a
+		}
+	}
+	if runHi > runLo {
+		fn(runNode, runLo, runHi)
+	}
+	return unmappedBytes
 }
 
 // ResetAccessCounters clears ground-truth access accounting (used to

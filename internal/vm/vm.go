@@ -125,7 +125,21 @@ type Region struct {
 	// allocated" from node 0).
 	ptHome    topo.NodeID
 	ptHomeSet bool
+
+	// gen counts mapping mutations (faults, migrations, splits,
+	// promotions). Consumers that derive expensive views of the region's
+	// placement — the analytic engine's per-thread home-node
+	// distributions (DESIGN.md §4.7) — compare generations to recompute
+	// only when the mapping actually changed.
+	gen uint64
 }
+
+// Gen returns the region's mapping generation; it changes whenever a
+// translation is established, re-homed or re-sized.
+func (r *Region) Gen() uint64 { return r.gen }
+
+// mutated bumps the mapping generation.
+func (r *Region) mutated() { r.gen++ }
 
 // NumChunks returns the number of 2 MB chunks spanning the region.
 func (r *Region) NumChunks() int { return len(r.chunks) }
@@ -610,6 +624,7 @@ func (s *AddrSpace) mapPage(r *Region, ci int, core topo.CoreID, off uint64) Acc
 		s.rehome(r, ci, res, alt)
 		res.Node = alt
 	}
+	r.mutated()
 	return res
 }
 

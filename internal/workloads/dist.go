@@ -1,0 +1,235 @@
+package workloads
+
+// Home-node access distributions for the analytic pricing engine
+// (DESIGN.md §4.7). The sampled engine discovers where a thread's DRAM
+// traffic lands by drawing offsets and resolving them; the analytic
+// engine instead needs the exact expectation: for each (thread, region),
+// the probability that an access is served by each NUMA node. That is a
+// pure function of the region's current page placement (vm.Region.Spans)
+// weighted by the same access distribution the offset generators draw
+// from — uniform, hot-prefix Zipf, per-block ownership with halos — so
+// the two engines agree in expectation by construction.
+//
+// The computation is O(mapped pages) per region, so callers recompute
+// only when vm.Region.Gen changes (placements move on policy ticks, not
+// every epoch) and reuse the result across epochs.
+
+import (
+	"math"
+
+	"repro/internal/cache"
+	"repro/internal/topo"
+	"repro/internal/vm"
+)
+
+// FillNodeDists computes the steady-state home-node access distribution
+// of region ri for every thread: out[t*nodes+h] is the probability that
+// one of thread t's accesses to the region is served by node h. Each
+// thread's row sums to 1, or to 0 when none of the thread's accessed
+// footprint is mapped yet (the caller treats that as first-touch-local).
+// Scratch buffers are cached on the Instance, so recomputations after
+// the first allocate nothing.
+func (in *Instance) FillNodeDists(ri, nodes int, out []float64) {
+	br := in.Regions[ri]
+	T := in.Threads
+	for i := range out[:T*nodes] {
+		out[i] = 0
+	}
+	if br.Spec.Sharing == SharedAll {
+		d := resizeZero(&in.distAvg, nodes)
+		in.sharedNodeDist(br, d)
+		normalize(d)
+		for t := 0; t < T; t++ {
+			copy(out[t*nodes:(t+1)*nodes], d)
+		}
+		return
+	}
+	in.privateNodeDists(br, nodes, out)
+}
+
+// sharedNodeDist accumulates the region-wide access-weighted node mass
+// of a SharedAll region, mirroring Instance.sharedOffset: hot-prefix
+// weighting for ZipfHot, the bounded-Pareto element distribution for
+// ZipfS, uniform otherwise (Stream cursors sweep the region uniformly
+// over time).
+func (in *Instance) sharedNodeDist(br *BuiltRegion, out []float64) {
+	switch {
+	case br.Spec.Loc == cache.ZipfHot:
+		hot := uint64(float64(br.Spec.Bytes) * br.Spec.HotFrac)
+		if hot < 64 {
+			hot = 64
+		}
+		ha := br.hotAccess()
+		accumUniform(br.VM, 0, hot, ha, out)
+		accumUniform(br.VM, 0, br.Spec.Bytes, 1-ha, out)
+	case br.Spec.ZipfS > 0 && br.Spec.Loc != cache.Stream:
+		accumZipf(br.VM, br.Spec.Bytes, br.Spec.ZipfS, out)
+	default:
+		accumUniform(br.VM, 0, br.Spec.Bytes, 1, out)
+	}
+}
+
+// privateNodeDists builds per-thread distributions for a PrivateBlocked
+// region: each thread draws uniformly over its own blocks (Loc-weighted
+// within a block), except for HaloFrac of accesses that land in another
+// thread's block halos.
+func (in *Instance) privateNodeDists(br *BuiltRegion, nodes int, out []float64) {
+	T := in.Threads
+	own := resizeZero(&in.distOwn, T*nodes)
+	hf := br.Spec.HaloFrac
+	var halo, haloAvg []float64
+	var haloW uint64
+	if hf > 0 {
+		halo = resizeZero(&in.distHalo, T*nodes)
+		haloAvg = resizeZero(&in.distAvg, nodes)
+		haloW = br.Spec.HaloBytes
+		if haloW == 0 || haloW*2 > br.blockBytes {
+			haloW = br.blockBytes / 4
+		}
+	}
+	for b := uint64(0); b < uint64(br.numBlocks); b++ {
+		o := br.owner(b, T)
+		base := b * br.blockBytes
+		in.accumBlock(br, base, own[o*nodes:(o+1)*nodes])
+		if hf > 0 {
+			accumHalo(br, base, haloW, halo[o*nodes:(o+1)*nodes])
+		}
+	}
+	// Threads owning no blocks (more threads than blocks) share block
+	// t mod numBlocks, as randomBlockOf does.
+	for t := 0; t < T; t++ {
+		if len(br.ownBlocks[t]) > 0 {
+			continue
+		}
+		base := uint64(t%br.numBlocks) * br.blockBytes
+		in.accumBlock(br, base, own[t*nodes:(t+1)*nodes])
+		if hf > 0 {
+			accumHalo(br, base, haloW, halo[t*nodes:(t+1)*nodes])
+		}
+	}
+	if hf > 0 {
+		for t := 0; t < T; t++ {
+			row := halo[t*nodes : (t+1)*nodes]
+			normalize(row)
+			for h, v := range row {
+				haloAvg[h] += v
+			}
+		}
+	}
+	for t := 0; t < T; t++ {
+		dst := out[t*nodes : (t+1)*nodes]
+		ow := own[t*nodes : (t+1)*nodes]
+		normalize(ow)
+		if hf <= 0 {
+			copy(dst, ow)
+			continue
+		}
+		// The sampled draw picks a uniformly random *other* thread
+		// (collisions redirect t to t+1, doubling that neighbor's share).
+		self := halo[t*nodes : (t+1)*nodes]
+		next := halo[(t+1)%T*nodes : ((t+1)%T+1)*nodes]
+		for h := range dst {
+			mix := self[h]
+			if T > 1 {
+				mix = (haloAvg[h] - self[h] + next[h]) / float64(T)
+			}
+			dst[h] = (1-hf)*ow[h] + hf*mix
+		}
+		normalize(dst)
+	}
+}
+
+// accumBlock adds one block's Loc-weighted node mass (total mass 1 per
+// fully mapped block), mirroring Instance.privateOffset.
+func (in *Instance) accumBlock(br *BuiltRegion, base uint64, out []float64) {
+	bb := br.blockBytes
+	if br.Spec.Loc == cache.ZipfHot {
+		hot := uint64(float64(bb) * br.Spec.HotFrac)
+		if hot < 64 {
+			hot = 64
+		}
+		ha := br.hotAccess()
+		accumUniform(br.VM, base, base+hot, ha, out)
+		accumUniform(br.VM, base, base+bb, 1-ha, out)
+		return
+	}
+	accumUniform(br.VM, base, base+bb, 1, out)
+}
+
+// accumHalo adds the leading and trailing halo of one block (mass 1 per
+// fully mapped halo pair).
+func accumHalo(br *BuiltRegion, base, haloW uint64, out []float64) {
+	accumUniform(br.VM, base, base+haloW, 0.5, out)
+	accumUniform(br.VM, base+br.blockBytes-haloW, base+br.blockBytes, 0.5, out)
+}
+
+// accumUniform adds w × each node's share of the mapped bytes of
+// [lo, hi), treating accesses as uniform over the range; unmapped bytes
+// contribute nothing (a touch there would first-touch-fault, which the
+// engine handles separately).
+func accumUniform(r *vm.Region, lo, hi uint64, w float64, out []float64) {
+	if hi <= lo || w <= 0 {
+		return
+	}
+	span := float64(hi - lo)
+	r.Spans(lo, hi, func(node topo.NodeID, a, b uint64) {
+		out[node] += w * float64(b-a) / span
+	})
+}
+
+// accumZipf adds each mapped span's mass under the truncated-Zipf
+// element distribution — the same continuous bounded-Pareto
+// approximation stats.Rng.Zipf inverts, evaluated in closed form over
+// element ranges (element index = offset/64).
+func accumZipf(r *vm.Region, bytes uint64, s float64, out []float64) {
+	n := float64(bytes / 64)
+	if n < 1 {
+		n = 1
+	}
+	var cdf func(x float64) float64
+	if s == 1 {
+		logN := math.Log(n + 1)
+		cdf = func(x float64) float64 { return math.Log(x+1) / logN }
+	} else {
+		oneMinusS := 1 - s
+		nn := math.Pow(n+1, oneMinusS)
+		cdf = func(x float64) float64 { return (math.Pow(x+1, oneMinusS) - 1) / (nn - 1) }
+	}
+	r.Spans(0, bytes, func(node topo.NodeID, a, b uint64) {
+		xa, xb := float64(a)/64, float64(b)/64
+		if xa >= n {
+			return
+		}
+		if xb > n {
+			xb = n
+		}
+		out[node] += cdf(xb) - cdf(xa)
+	})
+}
+
+// normalize scales v to sum 1, leaving an all-zero vector untouched.
+func normalize(v []float64) {
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	if sum <= 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+}
+
+// resizeZero returns a zeroed slice of length n backed by *buf, growing
+// it when needed; reuse keeps post-warmup recomputations allocation-free.
+func resizeZero(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	s := (*buf)[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}

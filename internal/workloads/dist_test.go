@@ -1,0 +1,129 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/vm"
+)
+
+// buildMapped constructs an instance and faults every region in fully
+// (striped over cores, so placements span all nodes).
+func buildMapped(t *testing.T, spec Spec) (*Instance, *topo.Machine) {
+	t.Helper()
+	m := topo.MachineA()
+	phys := mem.NewSystem(m, mem.LatencyParamsFor(m.Name))
+	space := vm.NewAddrSpace(m, phys, vm.DefaultFaultParams())
+	in, err := Build(spec, space, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for t := 0; t < in.Threads; t++ {
+		for {
+			touch, ok := in.NextAlloc(t)
+			if !ok {
+				break
+			}
+			touch.Region.VM.Access(topo.CoreID(t), t, touch.Off)
+		}
+	}
+	return in, m
+}
+
+// TestNodeDistMatchesEmpirical is the ground contract of the analytic
+// engine's placement census (DESIGN.md §4.7): for every region shape
+// the suite uses — shared hot-prefix, private blocks with halos,
+// private streams — the closed-form per-thread home-node distribution
+// must match the empirical distribution of the sampled engine's own
+// offset draws.
+func TestNodeDistMatchesEmpirical(t *testing.T) {
+	spec := Spec{
+		Name: "distcheck",
+		Regions: []RegionSpec{
+			{Name: "hot", Bytes: 8 << 20, Weight: 0.4, Loc: cache.ZipfHot, HotFrac: 0.1,
+				HotAccessFrac: 0.8, Sharing: SharedAll, Init: InitStriped, InitTouchWeight: 8},
+			{Name: "halo", Bytes: 24 << 20, Weight: 0.4, Loc: cache.RandomUniform,
+				Sharing: PrivateBlocked, BlockBytes: 1 << 20, ScatterBlocks: true,
+				HaloFrac: 0.2, HaloBytes: 32 << 10, Init: InitOwner, InitTouchWeight: 8},
+			{Name: "stream", Bytes: 16 << 20, Weight: 0.2, Loc: cache.Stream,
+				Sharing: PrivateBlocked, Init: InitOwner, InitTouchWeight: 8},
+		},
+		WorkPerThread:        1e6,
+		ExtraCyclesPerAccess: 1,
+		MLPOverlap:           0.5,
+	}
+	in, m := buildMapped(t, spec)
+	nodes := m.Nodes
+	dist := make([]float64, in.Threads*nodes)
+	for ri := range in.Regions {
+		in.FillNodeDists(ri, nodes, dist)
+		// Stream cursors sweep uniformly over time; reset them so the
+		// empirical draws cover the whole footprint.
+		const draws = 200000
+		for _, thread := range []int{0, 3, 17} {
+			emp := make([]float64, nodes)
+			rng := stats.NewRng(uint64(ri)*1000 + uint64(thread))
+			for i := 0; i < draws; i++ {
+				off := in.SteadyOffset(thread, ri, rng)
+				res, st := in.Regions[ri].VM.PeekRecord(off, thread, false)
+				if st != vm.PeekMapped {
+					t.Fatalf("region %d: draw hit unmapped offset %d", ri, off)
+				}
+				emp[res.Node]++
+			}
+			for h := range emp {
+				emp[h] /= draws
+				want := dist[thread*nodes+h]
+				if math.Abs(emp[h]-want) > 0.01 {
+					t.Errorf("region %s thread %d node %d: analytic %.4f vs empirical %.4f",
+						in.Regions[ri].Spec.Name, thread, h, want, emp[h])
+				}
+			}
+		}
+	}
+}
+
+// TestSpansPartialAndUnmapped pins vm.Region.Spans semantics the census
+// depends on: byte-granular partial ranges, coalesced 4 KB runs, and
+// unmapped accounting.
+func TestSpansPartialAndUnmapped(t *testing.T) {
+	m := topo.MachineA()
+	phys := mem.NewSystem(m, mem.LatencyParamsFor(m.Name))
+	space := vm.NewAddrSpace(m, phys, vm.DefaultFaultParams())
+	r := space.Mmap("spans", 4<<20, true)
+	// Map the first chunk's first two 4 KB pages from cores on different
+	// nodes; leave the rest unmapped.
+	r.Access(topo.CoreID(0), 0, 0)
+	r.Access(topo.CoreID(m.CoresPerNode), 1, 4096)
+	var got [][3]uint64
+	unmapped := r.Spans(100, 3<<20, func(n topo.NodeID, lo, hi uint64) {
+		got = append(got, [3]uint64{uint64(n), lo, hi})
+	})
+	if len(got) != 2 {
+		t.Fatalf("spans = %v, want 2 mapped spans", got)
+	}
+	if got[0] != [3]uint64{uint64(m.NodeOf(0)), 100, 4096} {
+		t.Fatalf("first span = %v", got[0])
+	}
+	if got[1] != [3]uint64{uint64(m.NodeOf(topo.CoreID(m.CoresPerNode))), 4096, 8192} {
+		t.Fatalf("second span = %v", got[1])
+	}
+	wantUnmapped := uint64(3<<20) - 8192
+	if unmapped != wantUnmapped {
+		t.Fatalf("unmapped = %d, want %d", unmapped, wantUnmapped)
+	}
+	// Same-node neighbouring 4 KB pages coalesce into one span.
+	r.Access(topo.CoreID(0), 0, 8192)
+	r.Access(topo.CoreID(0), 0, 12288)
+	got = got[:0]
+	r.Spans(8192, 16384, func(n topo.NodeID, lo, hi uint64) {
+		got = append(got, [3]uint64{uint64(n), lo, hi})
+	})
+	if len(got) != 1 || got[0][1] != 8192 || got[0][2] != 16384 {
+		t.Fatalf("coalesced spans = %v", got)
+	}
+}

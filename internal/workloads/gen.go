@@ -66,6 +66,10 @@ type Instance struct {
 
 	// Streaming cursors per (thread, region).
 	streamPos [][]uint64
+
+	// Scratch for FillNodeDists (dist.go), cached so the analytic
+	// engine's placement-census refreshes stop allocating after warmup.
+	distOwn, distHalo, distAvg []float64
 }
 
 // Build instantiates spec for a machine with one thread per core.
@@ -291,6 +295,15 @@ func (in *Instance) NextSteady(t int, rng *stats.Rng) SteadyAccess {
 // stream rng.
 func (in *Instance) NextSteadyPhase(t int, rng *stats.Rng, phase int) SteadyAccess {
 	ri := in.pickRegion(rng, phase)
+	return SteadyAccess{RegionIdx: ri, Off: in.SteadyOffset(t, ri, rng)}
+}
+
+// SteadyOffset draws one steady-state access offset for thread t within
+// region ri — the within-region half of NextSteadyPhase. The analytic
+// engine uses it directly to give its deterministically thinned IBS
+// samples the same spatial distribution as the sampled engine's accesses
+// (DESIGN.md §4.7).
+func (in *Instance) SteadyOffset(t, ri int, rng *stats.Rng) uint64 {
 	br := in.Regions[ri]
 	var off uint64
 	switch br.Spec.Sharing {
@@ -302,7 +315,22 @@ func (in *Instance) NextSteadyPhase(t int, rng *stats.Rng, phase int) SteadyAcce
 	if off >= br.Spec.Bytes {
 		off = br.Spec.Bytes - 1
 	}
-	return SteadyAccess{RegionIdx: ri, Off: off &^ 63} // align to cache line
+	return off &^ 63 // align to cache line
+}
+
+// RegionWeight returns region ri's normalized share of steady-state
+// accesses in the given phase.
+func (in *Instance) RegionWeight(phase, ri int) float64 {
+	cum := in.cumWeight[phase]
+	total := cum[len(cum)-1]
+	if total <= 0 {
+		return 0
+	}
+	w := cum[ri]
+	if ri > 0 {
+		w -= cum[ri-1]
+	}
+	return w / total
 }
 
 func (in *Instance) pickRegion(rng *stats.Rng, phase int) int {

@@ -58,6 +58,23 @@ type Result = sim.Result
 // Config tunes the engine; see sim.Config.
 type Config = sim.Config
 
+// Mode selects the engine's steady-state pricing implementation; see
+// sim.Mode and DESIGN.md §4.7.
+type Mode = sim.Mode
+
+// The available pricing modes: ModeSampled is the Monte-Carlo loop the
+// paper sections regenerate under by default; ModeAnalytic is the
+// closed-form expectation engine that makes full-scale machine-B sweeps
+// interactive (statistically equivalent, test-enforced).
+const (
+	ModeSampled  = sim.ModeSampled
+	ModeAnalytic = sim.ModeAnalytic
+)
+
+// ParseMode resolves a mode name ("sampled" or "analytic"), as the CLI's
+// -mode flag spells them.
+func ParseMode(s string) (Mode, error) { return sim.ParseMode(s) }
+
 // DefaultConfig returns the evaluation's engine calibration.
 func DefaultConfig() Config { return sim.DefaultConfig() }
 

@@ -11,8 +11,8 @@ func TestSurfaceLists(t *testing.T) {
 	if len(Policies()) != 11 {
 		t.Fatalf("policies = %d, want 11 (7 paper + 4 beyond)", len(Policies()))
 	}
-	if len(Experiments()) != 11 {
-		t.Fatalf("experiments = %d, want 11", len(Experiments()))
+	if len(Experiments()) != 12 {
+		t.Fatalf("experiments = %d, want 12", len(Experiments()))
 	}
 }
 
