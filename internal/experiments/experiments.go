@@ -501,6 +501,71 @@ func fullscaleDefinition() definition {
 	}
 }
 
+// dynamicPairs maps each event-timeline workload to the static-suite
+// benchmark it mutates, so the section can show the same policy on the
+// same application shape with and without mid-run churn.
+var dynamicPairs = [][2]string{{"WC", "WC.churn"}, {"CG.D", "CG.shift"}}
+
+// dynamicDefinition declares the dynamic-workload section (ROADMAP item
+// 1): the static suite freezes every region set at build time, which is
+// exactly the regime where one-shot huge-page decisions cannot be
+// wrong. The event-timeline workloads reintroduce the dynamics §3.2 of
+// the paper says dominate real THP behavior — WC.churn tears down and
+// reallocates a machine-filling arena (buddy fragmentation starves 2 MB
+// faults into 4 KB fallbacks), CG.shift collapses and relaxes a hot set
+// after placement decisions have been made — and the section renders
+// each policy's improvement against the static counterpart it mutates.
+func dynamicDefinition() definition {
+	policies := []string{"THP", "CarrefourLP", "TridentLP"}
+	wl := func() []string {
+		var out []string
+		for _, pair := range dynamicPairs {
+			out = append(out, pair[0], pair[1])
+		}
+		return out
+	}
+	return definition{
+		id: "dynamic",
+		declare: func(cfg Config) []runner.Request {
+			// Machine A only: WC.churn's arena is sized to exhaust its
+			// 64 GiB so that teardown shatters every node's free lists.
+			return cells(cfg, []string{"A"}, wl(), append([]string{"Linux4K"}, policies...))
+		},
+		render: func(cfg Config, res map[runner.Key]sim.Result, values map[string]float64) string {
+			recordMetrics(res, values)
+			var b strings.Builder
+			panel := improvementFigure(
+				"Dynamic workloads: improvement over Linux under mid-run churn (machine A)",
+				"A", wl(), policies, res, values)
+			b.WriteString(panel.Render())
+			b.WriteString("\n")
+			t := report.Table{
+				Title:  "Static suite vs. event timeline: improvement over Linux (points)",
+				Header: []string{"policy", "static", "impr", "dynamic", "impr", "delta"},
+			}
+			for _, pair := range dynamicPairs {
+				for _, p := range policies {
+					stat := values[fmt.Sprintf("A/%s/%s/improvement", pair[0], p)]
+					dyn := values[fmt.Sprintf("A/%s/%s/improvement", pair[1], p)]
+					delta := dyn - stat
+					values[fmt.Sprintf("A/%s/%s/dynamic-delta", pair[1], p)] = delta
+					t.Rows = append(t.Rows, []string{p, pair[0], report.Num(stat),
+						pair[1], report.Num(dyn), report.Num(delta)})
+				}
+			}
+			b.WriteString(t.Render())
+			b.WriteString("  each dynamic workload is its static counterpart plus an event timeline:\n")
+			b.WriteString("  WC.churn frees a machine-filling intermediate arena mid-run (scattered\n")
+			b.WriteString("  4 KB holes leave ample free bytes but no 2 MB contiguity) and allocates a\n")
+			b.WriteString("  fresh output region into the rubble, so THP-family policies fault it at\n")
+			b.WriteString("  4 KB; CG.shift collapses the gather vector's hot set onto 1% of the\n")
+			b.WriteString("  region after placement has settled, then relaxes it again. Negative\n")
+			b.WriteString("  deltas are gains the static suite reports that do not survive churn.\n")
+			return b.String()
+		},
+	}
+}
+
 // definitions lists every experiment in regeneration order.
 func definitions() []definition {
 	return []definition{
@@ -521,6 +586,7 @@ func definitions() []definition {
 		overheadDefinition(),
 		veryLargeDefinition(),
 		beyondDefinition(),
+		dynamicDefinition(),
 		fullscaleDefinition(),
 	}
 }
@@ -645,6 +711,10 @@ func VeryLarge(cfg Config) (Result, error) { return ByID("verylarge", cfg) }
 // Beyond regenerates the beyond-the-paper page-table placement and
 // 1 GB-ladder comparison.
 func Beyond(cfg Config) (Result, error) { return ByID("beyond", cfg) }
+
+// Dynamic regenerates the dynamic-workload section: event-timeline
+// churn versus the static suite.
+func Dynamic(cfg Config) (Result, error) { return ByID("dynamic", cfg) }
 
 // FullScale regenerates the full-scale (WorkScale 1.0) machine-B sweep
 // on the analytic engine.

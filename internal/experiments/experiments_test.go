@@ -18,12 +18,12 @@ func TestByIDUnknown(t *testing.T) {
 
 func TestIDsComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 12 {
-		t.Fatalf("experiments = %d, want 12 (5 figures, 3 tables, overhead, verylarge, beyond, fullscale)", len(ids))
+	if len(ids) != 13 {
+		t.Fatalf("experiments = %d, want 13 (5 figures, 3 tables, overhead, verylarge, beyond, dynamic, fullscale)", len(ids))
 	}
 	for _, id := range ids {
 		found := false
-		for _, want := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "table1", "table2", "table3", "overhead", "verylarge", "beyond", "fullscale"} {
+		for _, want := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "table1", "table2", "table3", "overhead", "verylarge", "beyond", "dynamic", "fullscale"} {
 			if id == want {
 				found = true
 			}
@@ -59,6 +59,40 @@ func TestBeyondShape(t *testing.T) {
 	// page tables by more than noise.
 	if v := res.Values["A/SSCA.20/MitosisPTR/beyond-improvement"]; v < -2 {
 		t.Fatalf("MitosisPTR loses %.1f%% on SSCA.20/A, want >= -2", v)
+	}
+}
+
+// TestDynamicShape asserts the dynamic section's headline claim: under
+// mid-run churn, at least one contiguity-dependent policy measurably
+// loses the improvement the static suite credits it with, and the
+// fragmentation pair (WC → WC.churn) strips the huge-page win from
+// every THP-family policy.
+func TestDynamicShape(t *testing.T) {
+	res, err := Dynamic(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"WC.churn", "CG.shift", "delta", "TridentLP"} {
+		if !strings.Contains(res.Text, want) {
+			t.Fatalf("dynamic section missing %q:\n%s", want, res.Text)
+		}
+	}
+	// The contiguity collapse: tearing down the arena leaves free bytes
+	// but no 2 MB blocks, so THP and Trident lose most of the static
+	// suite's huge-page improvement (the acceptance cell).
+	for _, p := range []string{"THP", "TridentLP"} {
+		delta, ok := res.Values["A/WC.churn/"+p+"/dynamic-delta"]
+		if !ok {
+			t.Fatalf("missing dynamic-delta for %s", p)
+		}
+		if delta > -10 {
+			t.Fatalf("%s on WC.churn loses only %.1f points vs static WC, want a ≥10-point regression", p, delta)
+		}
+	}
+	// The shift pair penalizes the one-shot interleaving policy but must
+	// not invent a huge-page win for it.
+	if _, ok := res.Values["A/CG.shift/CarrefourLP/dynamic-delta"]; !ok {
+		t.Fatal("missing CG.shift delta for CarrefourLP")
 	}
 }
 
@@ -172,7 +206,7 @@ func TestSharedSchedulerReusesCells(t *testing.T) {
 // TestOutputIdenticalAcrossWorkerCounts asserts the acceptance
 // criterion: experiment output is byte-identical for any -j.
 func TestOutputIdenticalAcrossWorkerCounts(t *testing.T) {
-	ids := []string{"fig5", "table2", "verylarge", "beyond"}
+	ids := []string{"fig5", "table2", "verylarge", "beyond", "dynamic"}
 	render := func(workers int) string {
 		sched := runcache.New(workers)
 		var b strings.Builder

@@ -1,0 +1,184 @@
+package mem
+
+// Binary buddy allocator over 4 KB frames, one instance per NUMA node.
+// This replaces the former per-node byte counter so that physical
+// contiguity is modeled, not just capacity: a 2 MB or 1 GB allocation
+// fails when no free block of that order exists, even when plenty of
+// scattered 4 KB frames are free — the fragmentation failure mode that
+// makes THP fall back to 4 KB pages and starves khugepaged-style
+// promotion (§3.2 of the paper; Panwar et al.'s Trident assumes this
+// never happens).
+//
+// Callers do not hold physical addresses — the vm layer tracks logical
+// placement only — so frames of one size on one node are fungible:
+// Allocate hands out the lowest-address free block (Linux's order-first
+// policy) and Free releases a pseudo-randomly chosen live block of the
+// requested size. The random pick models uncorrelated allocation
+// lifetimes, which is exactly what scatters holes across the physical
+// address space and prevents coalescing; the generator is a fixed-seed
+// LCG stepped only by Free, so every run is deterministic and
+// worker-count independent (buddy operations happen only in the serial
+// sections of the engine).
+
+import "math/bits"
+
+const (
+	// frameShift is log2(Size4K); frame index = address >> frameShift.
+	frameShift = 12
+	// maxOrder is the largest block order: 4K << 18 = 1G.
+	maxOrder = 18
+	// order2M is the order of a 2 MB block: 4K << 9 = 2M.
+	order2M = 9
+)
+
+// orderOf maps a valid PageSize to its buddy order.
+func orderOf(size PageSize) int {
+	switch size {
+	case Size4K:
+		return 0
+	case Size2M:
+		return order2M
+	default:
+		return maxOrder
+	}
+}
+
+// sizeClass maps a valid PageSize to an index into the live-block lists.
+func sizeClass(size PageSize) int {
+	switch size {
+	case Size4K:
+		return 0
+	case Size2M:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// buddyNode is one node's DRAM as a buddy system. Free blocks are kept
+// in per-order bitmaps (bit i of bits[o] = block i at order o is free),
+// allocated lazily per order so small machines and huge-page-only runs
+// stay cheap. cursor[o] is the first word of bits[o] that may contain a
+// set bit, making lowest-address scans amortized O(1) under the
+// engine's mostly-ascending allocation pattern.
+type buddyNode struct {
+	frames    uint64 // total 4 KB frames on the node
+	freeBytes uint64
+	nfree     [maxOrder + 1]int
+	cursor    [maxOrder + 1]int
+	bits      [maxOrder + 1][]uint64
+	live      [3][]uint32 // live block indices per size class
+}
+
+// newBuddyNode tiles bytes of DRAM with the largest aligned free blocks
+// (whole 1 GB blocks for the paper's machines).
+func newBuddyNode(bytes uint64) *buddyNode {
+	b := &buddyNode{frames: bytes >> frameShift}
+	b.freeBytes = b.frames << frameShift
+	for f := uint64(0); f < b.frames; {
+		o := maxOrder
+		for o > 0 && (f&(1<<uint(o)-1) != 0 || f+1<<uint(o) > b.frames) {
+			o--
+		}
+		b.setFree(o, f>>uint(o))
+		f += 1 << uint(o)
+	}
+	return b
+}
+
+// blocks is the number of order-o blocks that fit in the node.
+func (b *buddyNode) blocks(o int) uint64 { return b.frames >> uint(o) }
+
+func (b *buddyNode) ensure(o int) []uint64 {
+	if b.bits[o] == nil {
+		words := (b.blocks(o) + 63) / 64
+		if words == 0 {
+			words = 1
+		}
+		b.bits[o] = make([]uint64, words)
+	}
+	return b.bits[o]
+}
+
+func (b *buddyNode) setFree(o int, idx uint64) {
+	w := b.ensure(o)
+	w[idx>>6] |= 1 << (idx & 63)
+	if int(idx>>6) < b.cursor[o] {
+		b.cursor[o] = int(idx >> 6)
+	}
+	b.nfree[o]++
+}
+
+func (b *buddyNode) clearFree(o int, idx uint64) {
+	b.bits[o][idx>>6] &^= 1 << (idx & 63)
+	b.nfree[o]--
+}
+
+func (b *buddyNode) isFree(o int, idx uint64) bool {
+	w := b.bits[o]
+	if w == nil || idx >= b.blocks(o) {
+		return false
+	}
+	return w[idx>>6]&(1<<(idx&63)) != 0
+}
+
+// takeLowest pops the lowest-address free block of order o, which the
+// caller has checked exists (nfree[o] > 0).
+func (b *buddyNode) takeLowest(o int) uint64 {
+	w := b.bits[o]
+	i := b.cursor[o]
+	for w[i] == 0 {
+		i++
+	}
+	b.cursor[o] = i
+	idx := uint64(i)<<6 | uint64(bits.TrailingZeros64(w[i]))
+	b.clearFree(o, idx)
+	return idx
+}
+
+// alloc carves one block of order o out of the free lists, splitting a
+// larger block when necessary. It returns the block's frame index, or
+// false when no free block of order >= o exists anywhere on the node —
+// which can happen with ample freeBytes when the free frames are
+// scattered (fragmentation).
+func (b *buddyNode) alloc(o int) (uint64, bool) {
+	j := o
+	for j <= maxOrder && b.nfree[j] == 0 {
+		j++
+	}
+	if j > maxOrder {
+		return 0, false
+	}
+	frame := b.takeLowest(j) << uint(j)
+	for j > o {
+		j--
+		// Keep the lower half, free the upper buddy.
+		b.setFree(j, frame>>uint(j)|1)
+	}
+	b.freeBytes -= uint64(Size4K) << uint(o)
+	return frame, true
+}
+
+// release returns the order-o block at frame to the free lists,
+// coalescing with its buddy repeatedly while the buddy is free — so a
+// fully freed node always recovers its maximum-order blocks.
+func (b *buddyNode) release(o int, frame uint64) {
+	b.freeBytes += uint64(Size4K) << uint(o)
+	idx := frame >> uint(o)
+	for o < maxOrder && b.isFree(o, idx^1) {
+		b.clearFree(o, idx^1)
+		idx >>= 1
+		o++
+	}
+	b.setFree(o, idx)
+}
+
+// contiguousFree reports whether a block of the given order is free.
+func (b *buddyNode) contiguousFree(o int) bool {
+	for j := o; j <= maxOrder; j++ {
+		if b.nfree[j] > 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,283 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/topo"
+)
+
+// checkInvariants verifies the structural buddy invariants on every
+// node of s: free-list bookkeeping consistent with the bitmaps, free +
+// allocated bytes summing to the node's DRAM, and no block counted
+// free at two orders (a double-free would trip the sum).
+func checkInvariants(t *testing.T, s *System) {
+	t.Helper()
+	for n := 0; n < s.Machine.Nodes; n++ {
+		b := s.nodes[n]
+		var freeBytes uint64
+		for o := 0; o <= maxOrder; o++ {
+			count := 0
+			for idx := uint64(0); idx < b.blocks(o); idx++ {
+				if b.isFree(o, idx) {
+					count++
+					freeBytes += uint64(Size4K) << uint(o)
+					// A free block's parent halves must not also be free.
+					for j := o - 1; j >= 0 && j >= o-2; j-- {
+						lo := idx << uint(o-j)
+						for k := lo; k < lo+1<<uint(o-j); k++ {
+							if b.isFree(j, k) {
+								t.Fatalf("node %d: order-%d block %d free inside free order-%d block %d", n, j, k, o, idx)
+							}
+						}
+					}
+				}
+			}
+			if count != b.nfree[o] {
+				t.Fatalf("node %d order %d: nfree=%d but %d bits set", n, o, b.nfree[o], count)
+			}
+		}
+		if freeBytes != b.freeBytes {
+			t.Fatalf("node %d: freeBytes=%d but bitmaps hold %d", n, b.freeBytes, freeBytes)
+		}
+		var liveBytes uint64
+		for c, l := range b.live {
+			o := []int{0, order2M, maxOrder}[c]
+			liveBytes += uint64(len(l)) * (uint64(Size4K) << uint(o))
+		}
+		if freeBytes+liveBytes != b.frames<<frameShift {
+			t.Fatalf("node %d: free %d + live %d != DRAM %d", n, freeBytes, liveBytes, b.frames<<frameShift)
+		}
+	}
+}
+
+// tinyMachine keeps invariant scans cheap: 4 nodes with 4 MB of DRAM
+// each (1024 frames), so full-bitmap walks stay fast under fuzzing.
+func tinyMachine() *topo.Machine {
+	hops := [][]int{{0, 1, 1, 1}, {1, 0, 1, 1}, {1, 1, 0, 1}, {1, 1, 1, 0}}
+	return topo.New("tiny", 4, 1, 4<<20, 1e9, hops)
+}
+
+func TestBuddyFreshNodeMaxOrder(t *testing.T) {
+	s := newSys()
+	want := int(s.Machine.DRAMPerNode / uint64(Size1G))
+	for n := 0; n < s.Machine.Nodes; n++ {
+		if got := s.nodes[n].nfree[maxOrder]; got != want {
+			t.Fatalf("node %d: fresh free list has %d 1G blocks, want %d", n, got, want)
+		}
+		if !s.FreeContiguous(topo.NodeID(n), Size1G) {
+			t.Fatal("fresh node must have 1G contiguity")
+		}
+	}
+	checkInvariants(t, s)
+}
+
+func TestBuddyCoalesceRestoresMaxOrder(t *testing.T) {
+	s := NewSystem(tinyMachine(), DefaultLatencyParams())
+	// Shatter node 0 completely into 4 KB frames, then free everything:
+	// coalescing must restore the original top-order blocks.
+	frames := int(s.nodes[0].frames)
+	for i := 0; i < frames; i++ {
+		if err := s.Allocate(0, Size4K); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+	}
+	if s.FreeBytes(0) != 0 {
+		t.Fatal("node should be full")
+	}
+	checkInvariants(t, s)
+	for i := 0; i < frames; i++ {
+		if err := s.Free(0, Size4K); err != nil {
+			t.Fatalf("free %d: %v", i, err)
+		}
+	}
+	b := s.nodes[0]
+	top := maxOrder
+	for b.blocks(top) == 0 {
+		top--
+	}
+	if b.nfree[top] != int(b.blocks(top)) {
+		t.Fatalf("after full free: %d top-order blocks, want %d", b.nfree[top], b.blocks(top))
+	}
+	for o := 0; o < top; o++ {
+		if b.nfree[o] != 0 {
+			t.Fatalf("after full free: %d stray order-%d blocks", b.nfree[o], o)
+		}
+	}
+	checkInvariants(t, s)
+}
+
+func TestBuddyChurnFragments(t *testing.T) {
+	// The signature fragmentation sequence: fill a node with 4 KB frames,
+	// then free enough random frames that FreeBytes far exceeds 2 MB.
+	// The freed frames are scattered (uncorrelated lifetimes), so no
+	// order-9 block coalesces and 2 MB allocation fails with
+	// ErrFragmented despite ample free bytes.
+	s := NewSystem(tinyMachine(), DefaultLatencyParams())
+	frames := int(s.nodes[0].frames)
+	for i := 0; i < frames; i++ {
+		if err := s.Allocate(0, Size4K); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Free half the frames: 2 MB free in total, a full 2 MB block's
+	// worth — but scattered across the whole node.
+	for i := 0; i < frames/2; i++ {
+		if err := s.Free(0, Size4K); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.FreeBytes(0) < uint64(Size2M) {
+		t.Fatalf("free bytes %d below 2M; test sequence broken", s.FreeBytes(0))
+	}
+	if s.FreeContiguous(0, Size2M) {
+		t.Fatal("scattered frees coalesced a full 2M block; fragmentation model broken")
+	}
+	if err := s.Allocate(0, Size2M); !errors.Is(err, ErrFragmented) {
+		t.Fatalf("2M alloc on fragmented node returned %v, want ErrFragmented", err)
+	}
+	// 4 KB allocation still succeeds: capacity is there, contiguity isn't.
+	if err := s.Allocate(0, Size4K); err != nil {
+		t.Fatalf("4K alloc should succeed on fragmented node: %v", err)
+	}
+	checkInvariants(t, s)
+}
+
+func TestBuddySplitInPlace(t *testing.T) {
+	// vm.SplitChunk relies on Free(2M) + 512×Allocate(4K) never failing,
+	// and SplitGiant on Free(1G) + 512×Allocate(2M): freeing a block
+	// guarantees its constituents are allocatable on the same node.
+	s := newSys()
+	// Fill node 1 completely so the reconstituted frames can only come
+	// from the freed block itself.
+	for s.FreeBytes(1) > 0 {
+		if err := s.Allocate(1, Size1G); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Free(1, Size1G); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 512; i++ {
+		if err := s.Allocate(1, Size2M); err != nil {
+			t.Fatalf("2M alloc %d after 1G free: %v", i, err)
+		}
+	}
+	if err := s.Free(1, Size2M); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 512; i++ {
+		if err := s.Allocate(1, Size4K); err != nil {
+			t.Fatalf("4K alloc %d after 2M free: %v", i, err)
+		}
+	}
+	checkInvariants(t, s)
+}
+
+// applyOps replays a fuzz-provided op stream against a System and a
+// shadow per-node byte ledger, checking conservation after every op.
+// Each op byte encodes: bits 0-1 node, bits 2-3 size class (3 = 1G),
+// bit 4 free-vs-alloc.
+func applyOps(t *testing.T, ops []byte) {
+	t.Helper()
+	s := NewSystem(tinyMachine(), DefaultLatencyParams())
+	sizes := []PageSize{Size4K, Size2M, Size1G, Size2M}
+	liveCount := make(map[[2]int]int)
+	dram := s.nodes[0].frames << frameShift
+	for opi, op := range ops {
+		n := topo.NodeID(op & 3)
+		z := sizes[(op>>2)&3]
+		key := [2]int{int(n), sizeClass(z)}
+		if op&16 != 0 {
+			err := s.Free(n, z)
+			if liveCount[key] == 0 {
+				if !errors.Is(err, ErrOverFree) {
+					t.Fatalf("op %d: over-free returned %v, want ErrOverFree", opi, err)
+				}
+			} else if err != nil {
+				t.Fatalf("op %d: live free failed: %v", opi, err)
+			} else {
+				liveCount[key]--
+			}
+		} else {
+			err := s.Allocate(n, z)
+			switch {
+			case err == nil:
+				liveCount[key]++
+			case errors.Is(err, ErrOutOfMemory):
+				if s.FreeBytes(n) >= uint64(z) {
+					t.Fatalf("op %d: ErrOutOfMemory with %d free", opi, s.FreeBytes(n))
+				}
+			case errors.Is(err, ErrFragmented):
+				if s.FreeBytes(n) < uint64(z) {
+					t.Fatalf("op %d: ErrFragmented but free bytes %d < %d", opi, s.FreeBytes(n), uint64(z))
+				}
+				if z == Size4K {
+					t.Fatalf("op %d: a 4K allocation can never fragment", opi)
+				}
+			default:
+				t.Fatalf("op %d: unexpected error %v", opi, err)
+			}
+		}
+		var liveBytes uint64
+		for c, l := range s.nodes[n].live {
+			liveBytes += uint64(len(l)) * (uint64(Size4K) << uint([]int{0, order2M, maxOrder}[c]))
+		}
+		if s.FreeBytes(n)+liveBytes != dram {
+			t.Fatalf("op %d: node %d conservation broken: free %d + live %d != %d",
+				opi, n, s.FreeBytes(n), liveBytes, dram)
+		}
+	}
+	checkInvariants(t, s)
+	// Draining every live allocation must restore all nodes to empty
+	// top-order free lists (full coalescing).
+	for key, c := range liveCount {
+		z := []PageSize{Size4K, Size2M, Size1G}[key[1]]
+		for i := 0; i < c; i++ {
+			if err := s.Free(topo.NodeID(key[0]), z); err != nil {
+				t.Fatalf("drain free: %v", err)
+			}
+		}
+	}
+	for n := 0; n < s.Machine.Nodes; n++ {
+		if s.Allocated(topo.NodeID(n)) != 0 {
+			t.Fatalf("node %d not empty after drain", n)
+		}
+		b := s.nodes[n]
+		top := maxOrder
+		for b.blocks(top) == 0 {
+			top--
+		}
+		if b.nfree[top] != int(b.blocks(top)) {
+			t.Fatalf("node %d did not coalesce back to order %d", n, top)
+		}
+	}
+	checkInvariants(t, s)
+}
+
+// FuzzBuddy fuzzes random alloc/free sequences against the buddy
+// invariants; `go test -fuzz=FuzzBuddy -fuzztime=20s ./internal/mem`
+// runs in CI as a smoke step.
+func FuzzBuddy(f *testing.F) {
+	f.Add([]byte{0, 4, 8, 16, 20, 24})
+	f.Add([]byte{0, 0, 0, 16, 4, 4, 20, 8, 24, 24})
+	f.Add([]byte{8, 8, 8, 8, 24})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 4096 {
+			ops = ops[:4096]
+		}
+		applyOps(t, ops)
+	})
+}
+
+func TestBuddyFuzzSeeds(t *testing.T) {
+	// The fuzz corpus seeds double as deterministic regression tests.
+	for _, ops := range [][]byte{
+		{0, 4, 8, 16, 20, 24},
+		{0, 0, 0, 16, 4, 4, 20, 8, 24, 24},
+		{8, 8, 8, 8, 24},
+		{},
+	} {
+		applyOps(t, ops)
+	}
+}

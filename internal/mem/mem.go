@@ -44,8 +44,22 @@ func (s PageSize) Valid() bool {
 	return s == Size4K || s == Size2M || s == Size1G
 }
 
-// ErrOutOfMemory is returned when a node cannot satisfy an allocation.
+// ErrOutOfMemory is returned when a node's free bytes cannot cover an
+// allocation at all.
 var ErrOutOfMemory = errors.New("mem: node out of memory")
+
+// ErrFragmented is returned when a node has enough free bytes but no
+// contiguous free block of the requested size — the buddy-allocator
+// failure mode that makes huge-page allocation fail under churn even on
+// a half-empty node.
+var ErrFragmented = errors.New("mem: node free memory too fragmented")
+
+// ErrOverFree is returned by Free when node n has no live allocation of
+// the requested size. Under event timelines a workload-spec bug (e.g. a
+// timeline freeing the same region twice) can reach this path, so it is
+// a typed error rather than a panic; Spec.Validate rejects such
+// timelines before a run starts.
+var ErrOverFree = errors.New("mem: free without matching allocation")
 
 // LatencyParams configures the DRAM latency/contention model.
 type LatencyParams struct {
@@ -97,7 +111,8 @@ type System struct {
 	Machine *topo.Machine
 	Params  LatencyParams
 
-	allocated []uint64 // bytes in use per node
+	nodes []*buddyNode // per-node buddy free lists (see buddy.go)
+	rng   uint64       // LCG state for Free's live-block pick
 
 	epochReq []float64 // requests recorded this epoch per node
 	totalReq []float64 // requests recorded over the whole run per node
@@ -108,13 +123,17 @@ type System struct {
 // NewSystem builds an empty memory system for machine m.
 func NewSystem(m *topo.Machine, p LatencyParams) *System {
 	s := &System{
-		Machine:   m,
-		Params:    p,
-		allocated: make([]uint64, m.Nodes),
-		epochReq:  make([]float64, m.Nodes),
-		totalReq:  make([]float64, m.Nodes),
-		latency:   make([]float64, m.Nodes),
-		util:      make([]float64, m.Nodes),
+		Machine:  m,
+		Params:   p,
+		nodes:    make([]*buddyNode, m.Nodes),
+		rng:      0x9E3779B97F4A7C15,
+		epochReq: make([]float64, m.Nodes),
+		totalReq: make([]float64, m.Nodes),
+		latency:  make([]float64, m.Nodes),
+		util:     make([]float64, m.Nodes),
+	}
+	for i := range s.nodes {
+		s.nodes[i] = newBuddyNode(m.DRAMPerNode)
 	}
 	base := p.FixedCycles + p.QueueCycles
 	for i := range s.latency {
@@ -123,35 +142,75 @@ func NewSystem(m *topo.Machine, p LatencyParams) *System {
 	return s
 }
 
-// Allocate reserves size bytes on node n, failing with ErrOutOfMemory when
-// the node's DRAM is exhausted. Allocation never falls back to another node
-// here; fallback is an OS policy decision made by the caller.
+// Allocate reserves one frame of size bytes on node n, failing with
+// ErrOutOfMemory when the node's DRAM is exhausted and with ErrFragmented
+// when free bytes suffice but no contiguous block of the requested order
+// exists. Allocation never falls back to another node or a smaller page
+// size here; fallback is an OS policy decision made by the caller.
 func (s *System) Allocate(n topo.NodeID, size PageSize) error {
 	if !size.Valid() {
 		return fmt.Errorf("mem: invalid page size %d", uint64(size))
 	}
-	if s.allocated[n]+uint64(size) > s.Machine.DRAMPerNode {
+	b := s.nodes[n]
+	if uint64(size) > b.freeBytes {
 		return ErrOutOfMemory
 	}
-	s.allocated[n] += uint64(size)
+	o := orderOf(size)
+	frame, ok := b.alloc(o)
+	if !ok {
+		return ErrFragmented
+	}
+	c := sizeClass(size)
+	b.live[c] = append(b.live[c], uint32(frame>>uint(o)))
 	return nil
 }
 
-// Free releases size bytes on node n. Freeing more than is allocated is a
-// bookkeeping bug and panics.
-func (s *System) Free(n topo.NodeID, size PageSize) {
-	if s.allocated[n] < uint64(size) {
-		panic(fmt.Sprintf("mem: freeing %d bytes on node %d with only %d allocated", size, n, s.allocated[n]))
+// Free releases one live frame of size bytes on node n, coalescing it
+// with free buddies. The caller identifies frames by (node, size) only,
+// so Free picks the released block pseudo-randomly among the node's live
+// blocks of that size, modeling uncorrelated allocation lifetimes (the
+// source of physical fragmentation). Freeing with no live block of the
+// size returns ErrOverFree.
+func (s *System) Free(n topo.NodeID, size PageSize) error {
+	if !size.Valid() {
+		return fmt.Errorf("mem: invalid page size %d", uint64(size))
 	}
-	s.allocated[n] -= uint64(size)
+	b := s.nodes[n]
+	c := sizeClass(size)
+	l := b.live[c]
+	if len(l) == 0 {
+		return fmt.Errorf("%w: no live %s frame on node %d", ErrOverFree, size, n)
+	}
+	s.rng = s.rng*6364136223846793005 + 1442695040888963407
+	i := int((s.rng >> 33) % uint64(len(l)))
+	idx := uint64(l[i])
+	l[i] = l[len(l)-1]
+	b.live[c] = l[:len(l)-1]
+	b.release(orderOf(size), idx<<uint(orderOf(size)))
+	return nil
 }
 
 // Allocated reports the bytes in use on node n.
-func (s *System) Allocated(n topo.NodeID) uint64 { return s.allocated[n] }
+func (s *System) Allocated(n topo.NodeID) uint64 {
+	b := s.nodes[n]
+	return b.frames<<frameShift - b.freeBytes
+}
 
-// Free bytes remaining on node n.
+// Free bytes remaining on node n (contiguity not implied; see
+// FreeContiguous).
 func (s *System) FreeBytes(n topo.NodeID) uint64 {
-	return s.Machine.DRAMPerNode - s.allocated[n]
+	return s.nodes[n].freeBytes
+}
+
+// FreeContiguous reports whether node n could currently satisfy one
+// allocation of the given size — i.e. whether a free block of at least
+// that order exists. FreeBytes >= size with FreeContiguous false is the
+// fragmentation signature.
+func (s *System) FreeContiguous(n topo.NodeID, size PageSize) bool {
+	if !size.Valid() {
+		return false
+	}
+	return s.nodes[n].contiguousFree(orderOf(size))
 }
 
 // Record charges count DRAM requests to node n's controller in the current

@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -35,7 +36,9 @@ func TestAllocateFreeAccounting(t *testing.T) {
 	if err := s.Allocate(1, Size4K); err != nil {
 		t.Fatal(err)
 	}
-	s.Free(0, Size2M)
+	if err := s.Free(0, Size2M); err != nil {
+		t.Fatal(err)
+	}
 	if got := s.Allocated(0); got != 0 {
 		t.Fatalf("after free allocated = %d", got)
 	}
@@ -73,13 +76,22 @@ func TestFreeBytes(t *testing.T) {
 	}
 }
 
-func TestOverFreePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on over-free")
-		}
-	}()
-	newSys().Free(0, Size4K)
+func TestOverFreeTypedError(t *testing.T) {
+	s := newSys()
+	if err := s.Free(0, Size4K); !errors.Is(err, ErrOverFree) {
+		t.Fatalf("over-free returned %v, want ErrOverFree", err)
+	}
+	// A node with live 4 KB frames still rejects freeing sizes it has no
+	// live frame of.
+	if err := s.Allocate(0, Size4K); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Free(0, Size2M); !errors.Is(err, ErrOverFree) {
+		t.Fatalf("size-mismatched free returned %v, want ErrOverFree", err)
+	}
+	if err := s.Free(0, Size4K); err != nil {
+		t.Fatalf("matching free failed: %v", err)
+	}
 }
 
 func TestInvalidSizeRejected(t *testing.T) {
@@ -213,7 +225,9 @@ func TestAllocationConservationProperty(t *testing.T) {
 			}
 		}
 		for _, r := range live {
-			s.Free(r.n, r.z)
+			if err := s.Free(r.n, r.z); err != nil {
+				return false
+			}
 		}
 		for n := 0; n < 4; n++ {
 			if s.Allocated(topo.NodeID(n)) != 0 {

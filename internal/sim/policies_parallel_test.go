@@ -33,18 +33,34 @@ func TestResultIdenticalAcrossWorkerCounts(t *testing.T) {
 	type cell struct {
 		machine, workload, pol string
 		mode                   sim.Mode
+		// spec overrides the ByName lookup: the event-timeline cells run
+		// on inline specs, not suite-registered workloads.
+		spec *workloads.Spec
 	}
 	var cells []cell
 	for _, name := range policy.Names() {
-		cells = append(cells, cell{"A", "UA.B", name, sim.ModeSampled})
-		cells = append(cells, cell{"A", "UA.B", name, sim.ModeAnalytic})
+		cells = append(cells, cell{"A", "UA.B", name, sim.ModeSampled, nil})
+		cells = append(cells, cell{"A", "UA.B", name, sim.ModeAnalytic, nil})
 	}
 	cells = append(cells,
-		cell{"B", "CG.D", "THP", sim.ModeSampled},
-		cell{"B", "CG.D", "THP", sim.ModeAnalytic},
-		cell{"B", "CG.D", "TridentLP", sim.ModeSampled},
-		cell{"B", "CG.D", "TridentLP", sim.ModeAnalytic},
+		cell{"B", "CG.D", "THP", sim.ModeSampled, nil},
+		cell{"B", "CG.D", "THP", sim.ModeAnalytic, nil},
+		cell{"B", "CG.D", "TridentLP", sim.ModeSampled, nil},
+		cell{"B", "CG.D", "TridentLP", sim.ModeAnalytic, nil},
 	)
+	// Event-timeline workloads keep the guarantee too: the event-apply
+	// gate reads the serially-merged per-thread progress, never a
+	// worker-schedule-dependent value, so churn and free/shift timelines
+	// must render identically at any -j in both modes.
+	churn, free := churnTimeline(), shiftFreeTimeline()
+	for _, pol := range []string{"THP", "CarrefourLP", "TridentLP"} {
+		cells = append(cells,
+			cell{"A", churn.Name, pol, sim.ModeSampled, &churn},
+			cell{"A", churn.Name, pol, sim.ModeAnalytic, &churn},
+			cell{"A", free.Name, pol, sim.ModeSampled, &free},
+			cell{"A", free.Name, pol, sim.ModeAnalytic, &free},
+		)
+	}
 	counts := []int{1, 2, runtime.NumCPU()}
 	for _, c := range cells {
 		c := c
@@ -53,9 +69,15 @@ func TestResultIdenticalAcrossWorkerCounts(t *testing.T) {
 			if c.machine == "B" {
 				machine = topo.MachineB()
 			}
-			spec, err := workloads.ByName(c.workload)
-			if err != nil {
-				t.Fatal(err)
+			var spec workloads.Spec
+			if c.spec != nil {
+				spec = *c.spec
+			} else {
+				var err error
+				spec, err = workloads.ByName(c.workload)
+				if err != nil {
+					t.Fatal(err)
+				}
 			}
 			var base sim.Result
 			for i, workers := range counts {

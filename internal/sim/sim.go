@@ -555,9 +555,63 @@ func (e *Engine) refreshNodeDists() {
 	}
 }
 
+// minWorkFrac returns the slowest unfinished thread's progress as a
+// fraction of its work target; it is the event timeline's clock.
+func (e *Engine) minWorkFrac() float64 {
+	work := e.wl.Spec.WorkPerThread
+	if e.cfg.WorkScale > 0 {
+		work *= e.cfg.WorkScale
+	}
+	min := 1.0
+	for t := 0; t < e.threads; t++ {
+		if e.finishTime[t] >= 0 {
+			continue
+		}
+		if f := e.progress[t] / work; f < min {
+			min = f
+		}
+	}
+	return min
+}
+
+// growRegionState extends every per-region engine array to the current
+// region count after an Alloc event; it must run before snapshotEpoch,
+// which indexes these arrays for every region.
+func (e *Engine) growRegionState() {
+	n := len(e.wl.Regions)
+	for len(e.profiles) < n {
+		e.profiles = append(e.profiles, cache.LevelProbs{})
+		e.counts = append(e.counts, workloads.PageCounts{})
+		e.churnPer = append(e.churnPer, 0)
+	}
+	if e.aDist != nil {
+		for len(e.aDist) < n {
+			e.aDist = append(e.aDist, make([]float64, e.threads*e.nodes))
+			e.aDistGen = append(e.aDistGen, ^uint64(0))
+		}
+		for t := range e.ts {
+			for len(e.ts[t].ibsCarry) < n {
+				e.ts[t].ibsCarry = append(e.ts[t].ibsCarry, 0)
+			}
+		}
+	}
+	if e.ptHome != nil {
+		for len(e.ptHome) < n {
+			e.ptHome = append(e.ptHome, -1)
+		}
+	}
+}
+
 // runEpoch simulates one epoch; it reports whether the workload finished.
 func (e *Engine) runEpoch(epoch int, epochCycles float64) bool {
 	e.env.Space.BeginEpoch()
+	// Fire any event whose boundary the slowest thread has reached. This
+	// happens serially before the snapshot and the pricing stage, so
+	// every thread prices the post-event workload shape — the settle
+	// clamp guarantees no thread has worked past the boundary.
+	if e.wl.HasEvents() && e.wl.ApplyReadyEvents(e.minWorkFrac()) > 0 {
+		e.growRegionState()
+	}
 	// Refresh per-epoch derived state (page census, cache profiles, TLB
 	// assessment — identical across threads by symmetry).
 	e.snapshotEpoch()
@@ -916,6 +970,18 @@ func (e *Engine) settleThread(t, phase int, startBudget, epochCycles, avg, fault
 	// re-priced before it contributes progress.
 	if next := e.wl.NextPhaseBoundary(phase); next > 0 {
 		if left := next*work - e.progress[t]; left > 0 && realAccesses > left {
+			realAccesses = left
+		}
+	}
+	// Event boundaries are global barriers, not per-thread phase edges:
+	// until the mutation has applied (which requires every thread to
+	// arrive), a thread at the boundary performs no work at all — running
+	// ahead would price the pre-event workload shape past the event.
+	if eb := e.wl.NextEventBoundary(); eb > 0 {
+		if left := eb*work - e.progress[t]; realAccesses > left {
+			if left < 0 {
+				left = 0
+			}
 			realAccesses = left
 		}
 	}

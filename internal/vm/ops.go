@@ -42,6 +42,15 @@ func DefaultOpCosts() OpCosts {
 	}
 }
 
+// mustFree releases a physical frame whose existence the caller has
+// already established from the chunk state it holds; a failure here is a
+// bookkeeping bug between vm and mem, not a runtime condition.
+func mustFree(p *mem.System, n topo.NodeID, size mem.PageSize) {
+	if err := p.Free(n, size); err != nil {
+		panic(fmt.Sprintf("vm: %v", err))
+	}
+}
+
 // ChunkState is the exported view of a chunk's backing.
 type ChunkState uint8
 
@@ -113,7 +122,7 @@ func (r *Region) MigrateChunk(ci int, to topo.NodeID, costs OpCosts) (float64, b
 	if err := r.Space.Phys.Allocate(to, mem.Size2M); err != nil {
 		return 0, false
 	}
-	r.Space.Phys.Free(c.node, mem.Size2M)
+	mustFree(r.Space.Phys, c.node, mem.Size2M)
 	c.node = to
 	r.mutated()
 	return costs.Migrate2M, true
@@ -132,7 +141,7 @@ func (r *Region) MigrateSub(ci, sub int, to topo.NodeID, costs OpCosts) (float64
 	if err := r.Space.Phys.Allocate(to, mem.Size4K); err != nil {
 		return 0, false
 	}
-	r.Space.Phys.Free(from, mem.Size4K)
+	mustFree(r.Space.Phys, from, mem.Size4K)
 	c.mapSub(sub, to)
 	r.mutated()
 	return costs.Migrate4K, true
@@ -147,7 +156,7 @@ func (r *Region) SplitChunk(ci int, costs OpCosts) (float64, bool) {
 		return 0, false
 	}
 	node := c.node
-	r.Space.Phys.Free(node, mem.Size2M)
+	mustFree(r.Space.Phys, node, mem.Size2M)
 	c.ensureSubs()
 	for i := range c.subNode {
 		c.mapSub(i, node)
@@ -211,7 +220,7 @@ func (r *Region) PromoteChunk(ci int, to topo.NodeID, minSubs int, costs OpCosts
 		if topo.NodeID(c.subNode[i]) != to {
 			cycles += costs.Migrate4K
 		}
-		r.Space.Phys.Free(topo.NodeID(c.subNode[i]), mem.Size4K)
+		mustFree(r.Space.Phys, topo.NodeID(c.subNode[i]), mem.Size4K)
 	}
 	c.state = state2M
 	c.node = to
@@ -329,7 +338,7 @@ func (r *Region) PromoteGiant(head int, costs OpCosts) (float64, bool) {
 		if c.node != node {
 			cycles += costs.Migrate2M
 		}
-		r.Space.Phys.Free(c.node, mem.Size2M)
+		mustFree(r.Space.Phys, c.node, mem.Size2M)
 		c.state = state1G
 		c.giantHead = head
 		c.accesses = 0
@@ -360,7 +369,7 @@ func (r *Region) SplitGiant(head int, costs OpCosts) (float64, bool) {
 	}
 	node := c.node
 	span := r.giantSpan(head)
-	r.Space.Phys.Free(node, mem.Size1G)
+	mustFree(r.Space.Phys, node, mem.Size1G)
 	for i := head; i < head+span; i++ {
 		cc := &r.chunks[i]
 		cc.state = state2M
@@ -376,6 +385,84 @@ func (r *Region) SplitGiant(head int, costs OpCosts) (float64, bool) {
 	r.mutated()
 	return costs.Split1G, true
 }
+
+// Unmap releases every mapped page lying entirely inside the
+// region-relative byte range [lo, hi), returning the physical frames to
+// the allocator and the chunks to the unmapped state — the munmap half
+// of the dynamic-workload event timeline (free and shrink events). A
+// 2 MB page only partially covered by the range survives (the OS would
+// have to split it first; freeing a region tail at 2 MB granularity is
+// how real allocators behave under THP anyway), and a 1 GB page is
+// released only when its whole span is covered. Returns the bytes
+// released. Subsequent accesses to the range fault and remap it.
+func (r *Region) Unmap(lo, hi uint64) uint64 {
+	if hi > uint64(len(r.chunks))*uint64(mem.Size2M) {
+		hi = uint64(len(r.chunks)) * uint64(mem.Size2M)
+	}
+	if lo >= hi {
+		return 0
+	}
+	var released uint64
+	for ci := int(lo >> chunkShift); ci <= int((hi-1)>>chunkShift); ci++ {
+		base := uint64(ci) << chunkShift
+		c := &r.chunks[ci]
+		switch c.state {
+		case state2M:
+			if base < lo || base+uint64(mem.Size2M) > hi {
+				continue
+			}
+			mustFree(r.Space.Phys, c.node, mem.Size2M)
+			c.state = stateUnmapped
+			c.accesses = 0
+			c.threadMask = 0
+			r.count2M--
+			released += uint64(mem.Size2M)
+		case state4K:
+			for sub := 0; sub < SubsPerChunk; sub++ {
+				sa := base + uint64(sub)<<subShift
+				if sa < lo || sa+uint64(mem.Size4K) > hi || c.subNode[sub] == unmappedNode {
+					continue
+				}
+				mustFree(r.Space.Phys, topo.NodeID(c.subNode[sub]), mem.Size4K)
+				c.subNode[sub] = unmappedNode
+				c.subAcc[sub] = 0
+				c.subMask[sub] = 0
+				c.mapped--
+				r.count4K--
+				released += uint64(mem.Size4K)
+			}
+		case state1G:
+			head := c.giantHead
+			if ci != head {
+				continue // handled when the loop reaches the head
+			}
+			span := r.giantSpan(head)
+			if base < lo || base+uint64(span)<<chunkShift > hi {
+				continue
+			}
+			mustFree(r.Space.Phys, r.chunks[head].node, mem.Size1G)
+			for i := head; i < head+span; i++ {
+				cc := &r.chunks[i]
+				cc.state = stateUnmapped
+				cc.accesses = 0
+				cc.threadMask = 0
+			}
+			r.count1G--
+			released += uint64(mem.Size1G)
+		}
+	}
+	if released > 0 {
+		r.mutated()
+	}
+	return released
+}
+
+// MarkMutated bumps the region's mapping generation without a mapping
+// change, invalidating any caches keyed on Gen. Event timelines use it
+// when a distribution-shift event changes how a region is accessed: the
+// mapping is intact but every placement census derived from the access
+// distribution is stale.
+func (r *Region) MarkMutated() { r.mutated() }
 
 // PageAccess is the ground-truth accounting for one mapped page.
 type PageAccess struct {

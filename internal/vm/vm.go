@@ -595,6 +595,29 @@ func (s *AddrSpace) mapPage(r *Region, ci int, core topo.CoreID, off uint64) Acc
 		r.ptHome = s.Machine.NodeOf(core)
 		r.ptHomeSet = true
 	}
+	// Reserve the physical frame before committing any mapping state, so
+	// a failed huge-page reservation can fall back cleanly: first to the
+	// emptiest node (capacity fallback), then — for 2 MB faults — to a
+	// 4 KB mapping, which is THP's behaviour when no node can assemble a
+	// contiguous 2 MB frame (fragmentation fallback).
+	if err := s.Phys.Allocate(node, size); err != nil {
+		alt := s.emptiestNode()
+		if err := s.Phys.Allocate(alt, size); err == nil {
+			node = alt
+		} else if size == mem.Size2M {
+			size = mem.Size4K
+			node = s.placeNode(core, size)
+			if err := s.Phys.Allocate(node, size); err != nil {
+				alt := s.emptiestNode()
+				if err := s.Phys.Allocate(alt, size); err != nil {
+					panic(fmt.Sprintf("vm: machine out of memory mapping %s", r.Name))
+				}
+				node = alt
+			}
+		} else {
+			panic(fmt.Sprintf("vm: machine out of memory mapping %s", r.Name))
+		}
+	}
 	c := &r.chunks[ci]
 	var res AccessResult
 	if size == mem.Size2M {
@@ -614,27 +637,8 @@ func (s *AddrSpace) mapPage(r *Region, ci int, core topo.CoreID, off uint64) Acc
 		s.faultCount4K++
 		r.count4K++
 	}
-	if err := s.Phys.Allocate(node, res.PageSize); err != nil {
-		// The chosen node is full: fall back to the emptiest node. The
-		// mapping created above is re-homed accordingly.
-		alt := s.emptiestNode()
-		if err := s.Phys.Allocate(alt, res.PageSize); err != nil {
-			panic(fmt.Sprintf("vm: machine out of memory mapping %s", r.Name))
-		}
-		s.rehome(r, ci, res, alt)
-		res.Node = alt
-	}
 	r.mutated()
 	return res
-}
-
-func (s *AddrSpace) rehome(r *Region, ci int, res AccessResult, node topo.NodeID) {
-	c := &r.chunks[ci]
-	if res.Page.Sub < 0 {
-		c.node = node
-	} else {
-		c.mapSub(res.Page.Sub, node)
-	}
 }
 
 // placeNode implements first-touch: pages land on the faulting core's

@@ -34,6 +34,10 @@ type BuiltRegion struct {
 	// ownership is balanced but adjacent blocks belong to unrelated
 	// threads.
 	ownerArr []int32
+
+	// freed marks a region removed by a Free event; its weight is zero in
+	// every phase from the event on and its VM span is unmapped.
+	freed bool
 }
 
 // owner returns the thread owning block b of a PrivateBlocked region:
@@ -70,6 +74,17 @@ type Instance struct {
 	// Scratch for FillNodeDists (dist.go), cached so the analytic
 	// engine's placement-census refreshes stop allocating after warmup.
 	distOwn, distHalo, distAvg []float64
+
+	// pendingEvents is a min-heap of indices into Spec.Events keyed by
+	// AtWorkFrac, drained in work-progress order by ApplyReadyEvents.
+	// Validation guarantees ascending boundaries, so pops come out in
+	// declaration order; the heap keeps the drain robust regardless.
+	pendingEvents []int
+	// appliedEvents counts events already applied; PhaseAt only advances
+	// a thread past an event boundary once the mutation has happened, so
+	// threads clamped at the boundary stall (a barrier wait) rather than
+	// racing ahead under the pre-event weight tables.
+	appliedEvents int
 }
 
 // Build instantiates spec for a machine with one thread per core.
@@ -85,35 +100,7 @@ func Build(spec Spec, space *vm.AddrSpace, m *topo.Machine) (*Instance, error) {
 		Threads: threads,
 	}
 	for _, rs := range spec.Regions {
-		r := space.Mmap(rs.Name, rs.Bytes, !rs.FileBacked)
-		br := &BuiltRegion{Spec: rs, VM: r}
-		br.blockBytes = rs.BlockBytes
-		if br.blockBytes == 0 {
-			br.blockBytes = rs.Bytes / uint64(threads)
-			if br.blockBytes == 0 {
-				br.blockBytes = uint64(mem.Size4K)
-			}
-		}
-		br.numBlocks = int(rs.Bytes / br.blockBytes)
-		if br.numBlocks == 0 {
-			br.numBlocks = 1
-			br.blockBytes = rs.Bytes
-		}
-		br.pages4K = rs.Bytes / uint64(mem.Size4K)
-		if br.pages4K == 0 {
-			br.pages4K = 1
-		}
-		if rs.Sharing == PrivateBlocked {
-			if rs.ScatterBlocks {
-				br.ownerArr = scatterOwners(br.numBlocks, threads, uint64(r.ID))
-			}
-			br.ownBlocks = make([][]uint64, threads)
-			for b := uint64(0); b < uint64(br.numBlocks); b++ {
-				t := br.owner(b, threads)
-				br.ownBlocks[t] = append(br.ownBlocks[t], b)
-			}
-		}
-		in.Regions = append(in.Regions, br)
+		in.Regions = append(in.Regions, in.buildRegion(rs))
 	}
 	base := make([]float64, len(spec.Regions))
 	for i, rs := range spec.Regions {
@@ -143,7 +130,46 @@ func Build(spec Spec, space *vm.AddrSpace, m *topo.Machine) (*Instance, error) {
 	for t := range in.streamPos {
 		in.streamPos[t] = make([]uint64, len(in.Regions))
 	}
+	for i := range spec.Events {
+		in.pushEvent(i)
+	}
 	return in, nil
+}
+
+// buildRegion maps one region and derives its access geometry; Build
+// uses it for every static region and ApplyReadyEvents for regions
+// added by Alloc events.
+func (in *Instance) buildRegion(rs RegionSpec) *BuiltRegion {
+	threads := in.Threads
+	r := in.Space.Mmap(rs.Name, rs.Bytes, !rs.FileBacked)
+	br := &BuiltRegion{Spec: rs, VM: r}
+	br.blockBytes = rs.BlockBytes
+	if br.blockBytes == 0 {
+		br.blockBytes = rs.Bytes / uint64(threads)
+		if br.blockBytes == 0 {
+			br.blockBytes = uint64(mem.Size4K)
+		}
+	}
+	br.numBlocks = int(rs.Bytes / br.blockBytes)
+	if br.numBlocks == 0 {
+		br.numBlocks = 1
+		br.blockBytes = rs.Bytes
+	}
+	br.pages4K = rs.Bytes / uint64(mem.Size4K)
+	if br.pages4K == 0 {
+		br.pages4K = 1
+	}
+	if rs.Sharing == PrivateBlocked {
+		if rs.ScatterBlocks {
+			br.ownerArr = scatterOwners(br.numBlocks, threads, uint64(r.ID))
+		}
+		br.ownBlocks = make([][]uint64, threads)
+		for b := uint64(0); b < uint64(br.numBlocks); b++ {
+			t := br.owner(b, threads)
+			br.ownBlocks[t] = append(br.ownBlocks[t], b)
+		}
+	}
+	return br
 }
 
 // initThread returns the thread that first-touches 4 KB page p of region
@@ -272,12 +298,27 @@ func cumulate(w []float64) []float64 {
 }
 
 // PhaseAt returns the phase index active at the given progress fraction.
+// Event boundaries count as phase boundaries, but only once the event
+// has been applied: a thread clamped at an unapplied event boundary
+// stays in its current phase (and therefore stalls at the boundary, see
+// NextPhaseBoundary) until every thread arrives and the mutation runs.
 func (in *Instance) PhaseAt(workFrac float64) int {
 	p := 0
 	for i, ph := range in.Spec.Phases {
 		if workFrac >= ph.AtWorkFrac {
 			p = i + 1
 		}
+	}
+	for i := 0; i < in.appliedEvents; i++ {
+		// The epsilon matches ApplyReadyEvents' firing gate: a thread
+		// whose clamped progress sits a rounding error below the boundary
+		// still enters the post-event phase once the event has applied.
+		if workFrac+eventEps >= in.Spec.Events[i].AtWorkFrac {
+			p = i + 1
+		}
+	}
+	if p >= len(in.cumWeight) {
+		p = len(in.cumWeight) - 1
 	}
 	return p
 }
@@ -319,9 +360,13 @@ func (in *Instance) SteadyOffset(t, ri int, rng *stats.Rng) uint64 {
 }
 
 // RegionWeight returns region ri's normalized share of steady-state
-// accesses in the given phase.
+// accesses in the given phase. Regions added by events after the given
+// phase have zero weight in it (the phase's table predates them).
 func (in *Instance) RegionWeight(phase, ri int) float64 {
 	cum := in.cumWeight[phase]
+	if ri >= len(cum) {
+		return 0
+	}
 	total := cum[len(cum)-1]
 	if total <= 0 {
 		return 0
@@ -598,10 +643,164 @@ func max1(x float64) float64 {
 }
 
 // NextPhaseBoundary returns the work fraction at which the phase after
-// `phase` begins, or 0 when `phase` is the last.
+// `phase` begins, or 0 when `phase` is the last. Event boundaries are
+// phase boundaries too: the engine's settle clamp stops every thread
+// exactly at the next event's AtWorkFrac, which is the event timeline's
+// work-conservation invariant — no thread performs work past an event
+// under the pre-event workload shape.
 func (in *Instance) NextPhaseBoundary(phase int) float64 {
 	if phase < len(in.Spec.Phases) {
 		return in.Spec.Phases[phase].AtWorkFrac
 	}
+	if phase < len(in.Spec.Events) {
+		return in.Spec.Events[phase].AtWorkFrac
+	}
 	return 0
+}
+
+// HasEvents reports whether the workload carries an event timeline.
+func (in *Instance) HasEvents() bool { return len(in.Spec.Events) > 0 }
+
+// NextEventBoundary returns the work fraction of the earliest pending
+// (not yet applied) event, or 0 when the timeline is drained.
+func (in *Instance) NextEventBoundary() float64 {
+	if len(in.pendingEvents) == 0 {
+		return 0
+	}
+	return in.Spec.Events[in.pendingEvents[0]].AtWorkFrac
+}
+
+// eventLess orders pending events by firing boundary.
+func (in *Instance) eventLess(a, b int) bool {
+	return in.Spec.Events[a].AtWorkFrac < in.Spec.Events[b].AtWorkFrac
+}
+
+// pushEvent inserts event index i into the pending min-heap.
+func (in *Instance) pushEvent(i int) {
+	h := append(in.pendingEvents, i)
+	c := len(h) - 1
+	for c > 0 {
+		p := (c - 1) / 2
+		if !in.eventLess(h[c], h[p]) {
+			break
+		}
+		h[c], h[p] = h[p], h[c]
+		c = p
+	}
+	in.pendingEvents = h
+}
+
+// popEvent removes and returns the earliest pending event index.
+func (in *Instance) popEvent() int {
+	h := in.pendingEvents
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	for p := 0; ; {
+		c := 2*p + 1
+		if c >= len(h) {
+			break
+		}
+		if c+1 < len(h) && in.eventLess(h[c+1], h[c]) {
+			c++
+		}
+		if !in.eventLess(h[c], h[p]) {
+			break
+		}
+		h[p], h[c] = h[c], h[p]
+		p = c
+	}
+	in.pendingEvents = h
+	return top
+}
+
+// eventEps absorbs the floating-point slack between a thread's clamped
+// progress and the exact boundary product; it is far above accumulated
+// rounding error and far below any plausible gap between boundaries.
+const eventEps = 1e-9
+
+// ApplyReadyEvents drains every pending event whose boundary the
+// slowest thread has reached (clock monotonicity: events fire in
+// boundary order, and never before all threads arrive) and applies its
+// mutation through the vm surface. It returns the number of events
+// applied so the engine knows to grow its per-region state.
+func (in *Instance) ApplyReadyEvents(minWorkFrac float64) int {
+	applied := 0
+	for len(in.pendingEvents) > 0 {
+		i := in.pendingEvents[0]
+		if minWorkFrac+eventEps < in.Spec.Events[i].AtWorkFrac {
+			break
+		}
+		in.popEvent()
+		in.applyEvent(in.Spec.Events[i])
+		in.appliedEvents++
+		applied++
+	}
+	return applied
+}
+
+// regionIndex resolves an event's region name; Validate guarantees it
+// exists by the time the event fires.
+func (in *Instance) regionIndex(name string) int {
+	for ri, br := range in.Regions {
+		if br.Spec.Name == name {
+			return ri
+		}
+	}
+	panic(fmt.Sprintf("workloads: %s event names unknown region %q", in.Spec.Name, name))
+}
+
+// applyEvent performs one event's mutation and installs its weight
+// table as the next phase. All mutations go through the vm surface
+// (Mmap/Unmap/MarkMutated), so Region.Gen bumps keep the analytic
+// engine's placement census coherent.
+func (in *Instance) applyEvent(ev EventSpec) {
+	switch {
+	case ev.Alloc != nil:
+		rs := *ev.Alloc
+		// Mid-run allocations fault in lazily from steady-state accesses,
+		// exactly like a real malloc'd arena: there is no init phase to
+		// replay after the barrier.
+		rs.SkipInit = true
+		in.Regions = append(in.Regions, in.buildRegion(rs))
+		for t := range in.streamPos {
+			in.streamPos[t] = append(in.streamPos[t], 0)
+		}
+		// The allocation phase is long over; keep the init cursors parked
+		// past the grown region table so AllocAllDone stays true.
+		for t := range in.allocRegion {
+			in.allocRegion[t] = len(in.Regions)
+		}
+	case ev.FreeRegion != "":
+		br := in.Regions[in.regionIndex(ev.FreeRegion)]
+		br.VM.Unmap(0, br.Spec.Bytes)
+		br.freed = true
+	case ev.ShrinkRegion != "":
+		br := in.Regions[in.regionIndex(ev.ShrinkRegion)]
+		newBytes := uint64(float64(br.Spec.Bytes)*ev.ShrinkToFrac) &^ 63
+		if newBytes < 64 {
+			newBytes = 64
+		}
+		br.VM.Unmap(newBytes, br.Spec.Bytes)
+		br.Spec.Bytes = newBytes
+		br.pages4K = newBytes / uint64(mem.Size4K)
+		if br.pages4K == 0 {
+			br.pages4K = 1
+		}
+	case ev.Shift != nil:
+		br := in.Regions[in.regionIndex(ev.Shift.Region)]
+		br.Spec.HotFrac = ev.Shift.HotFrac
+		br.Spec.HotAccessFrac = ev.Shift.HotAccessFrac
+		br.Spec.ZipfS = ev.Shift.ZipfS
+		// The mapping did not change but the access distribution did;
+		// bump the region generation so analytic censuses rebuild.
+		br.VM.MarkMutated()
+	}
+	// The event's weight vector becomes the next phase's mix; sync the
+	// per-region Weight fields so TLBSegments sees the live shares.
+	for ri, w := range ev.Weights {
+		in.Regions[ri].Spec.Weight = w
+	}
+	in.cumWeight = append(in.cumWeight, cumulate(ev.Weights))
 }

@@ -156,6 +156,47 @@ type PhaseSpec struct {
 	Weights []float64
 }
 
+// ShiftSpec redirects a region's internal access distribution without
+// changing the overall region mix: the hot subset moves or re-shapes,
+// invalidating placements a policy tuned to the old distribution.
+type ShiftSpec struct {
+	// Region names the SharedAll region whose distribution shifts.
+	Region string
+	// HotFrac, HotAccessFrac and ZipfS replace the region's fields.
+	HotFrac       float64
+	HotAccessFrac float64
+	ZipfS         float64
+}
+
+// EventSpec is one timed mutation of the running workload — the dynamic
+// behaviour static specs cannot express: regions appearing, disappearing,
+// shrinking, or re-shaping mid-run. Events fire in work-progress order
+// once every thread has completed AtWorkFrac of its work (threads are
+// clamped at the boundary, so no thread races past an unapplied event).
+// Exactly one of Alloc, FreeRegion, ShrinkRegion, Shift must be set.
+type EventSpec struct {
+	// AtWorkFrac is the work fraction at which the event fires
+	// (0 < AtWorkFrac < 1, strictly ascending across events).
+	AtWorkFrac float64
+	// Alloc appends a new region to the workload. The region faults in
+	// lazily from steady-state accesses (SkipInit is implied).
+	Alloc *RegionSpec
+	// FreeRegion unmaps the named region entirely; its weight must be 0
+	// in this event's Weights and every later event's.
+	FreeRegion string
+	// ShrinkRegion truncates the named SharedAll region to
+	// ShrinkToFrac of its current size, unmapping the tail.
+	ShrinkRegion string
+	// ShrinkToFrac is the surviving fraction (0 < ShrinkToFrac < 1).
+	ShrinkToFrac float64
+	// Shift re-shapes the named region's access distribution.
+	Shift *ShiftSpec
+	// Weights is the full post-event per-region access weight vector, in
+	// region order including any regions added by this and earlier
+	// events. Required for every event.
+	Weights []float64
+}
+
 // Spec is a complete benchmark description.
 type Spec struct {
 	// Name is the benchmark name as the paper reports it (e.g. "CG.D").
@@ -165,6 +206,10 @@ type Spec struct {
 	// Phases optionally re-weights the regions as threads progress;
 	// region weights in Regions define phase 0.
 	Phases []PhaseSpec
+	// Events optionally mutate the workload itself as threads progress —
+	// allocation, freeing, shrinking, or distribution shifts. Mutually
+	// exclusive with Phases (events carry their own weight vectors).
+	Events []EventSpec
 	// WorkPerThread is the steady-state accesses each thread must
 	// complete (after the allocation phase) for the run to finish.
 	WorkPerThread float64
@@ -228,6 +273,112 @@ func (s Spec) Validate() error {
 		}
 		if w < 0.99 || w > 1.01 {
 			return fmt.Errorf("workloads: %s phase %d weights sum to %v", s.Name, i, w)
+		}
+	}
+	return s.validateEvents()
+}
+
+// validateEvents walks the event timeline against a simulated region
+// table, catching the spec bugs that would otherwise surface as
+// mid-run mem.ErrOverFree or index panics: double frees, unknown
+// region names, non-monotone boundaries, and weight vectors that keep
+// freed regions alive.
+func (s Spec) validateEvents() error {
+	if len(s.Events) == 0 {
+		return nil
+	}
+	if len(s.Phases) > 0 {
+		return fmt.Errorf("workloads: %s mixes Phases and Events; events carry their own weight vectors", s.Name)
+	}
+	// Simulated region table: names in order, with a freed marker.
+	names := make([]string, len(s.Regions))
+	freed := make([]bool, len(s.Regions))
+	for i, r := range s.Regions {
+		names[i] = r.Name
+	}
+	find := func(name string) int {
+		for i, n := range names {
+			if n == name {
+				return i
+			}
+		}
+		return -1
+	}
+	prev := 0.0
+	for i, ev := range s.Events {
+		if ev.AtWorkFrac <= prev || ev.AtWorkFrac >= 1 {
+			return fmt.Errorf("workloads: %s event %d boundary %v not ascending in (0,1)", s.Name, i, ev.AtWorkFrac)
+		}
+		prev = ev.AtWorkFrac
+		actions := 0
+		if ev.Alloc != nil {
+			actions++
+			r := *ev.Alloc
+			if r.Name == "" || find(r.Name) >= 0 {
+				return fmt.Errorf("workloads: %s event %d alloc region name %q missing or duplicate", s.Name, i, r.Name)
+			}
+			if r.Bytes == 0 || r.MLPInvalid() {
+				return fmt.Errorf("workloads: %s event %d alloc region %s invalid", s.Name, i, r.Name)
+			}
+			names = append(names, r.Name)
+			freed = append(freed, false)
+		}
+		if ev.FreeRegion != "" {
+			actions++
+			ri := find(ev.FreeRegion)
+			if ri < 0 {
+				return fmt.Errorf("workloads: %s event %d frees unknown region %q", s.Name, i, ev.FreeRegion)
+			}
+			if freed[ri] {
+				return fmt.Errorf("workloads: %s event %d frees region %q twice", s.Name, i, ev.FreeRegion)
+			}
+			freed[ri] = true
+		}
+		if ev.ShrinkRegion != "" {
+			actions++
+			ri := find(ev.ShrinkRegion)
+			if ri < 0 {
+				return fmt.Errorf("workloads: %s event %d shrinks unknown region %q", s.Name, i, ev.ShrinkRegion)
+			}
+			if freed[ri] {
+				return fmt.Errorf("workloads: %s event %d shrinks freed region %q", s.Name, i, ev.ShrinkRegion)
+			}
+			if ev.ShrinkToFrac <= 0 || ev.ShrinkToFrac >= 1 {
+				return fmt.Errorf("workloads: %s event %d shrink fraction %v not in (0,1)", s.Name, i, ev.ShrinkToFrac)
+			}
+		}
+		if ev.Shift != nil {
+			actions++
+			ri := find(ev.Shift.Region)
+			if ri < 0 {
+				return fmt.Errorf("workloads: %s event %d shifts unknown region %q", s.Name, i, ev.Shift.Region)
+			}
+			if freed[ri] {
+				return fmt.Errorf("workloads: %s event %d shifts freed region %q", s.Name, i, ev.Shift.Region)
+			}
+			sh := ev.Shift
+			if sh.HotFrac < 0 || sh.HotFrac > 1 || sh.HotAccessFrac < 0 || sh.HotAccessFrac > 1 || sh.ZipfS < 0 {
+				return fmt.Errorf("workloads: %s event %d shift parameters out of range", s.Name, i)
+			}
+		}
+		if actions != 1 {
+			return fmt.Errorf("workloads: %s event %d has %d actions, want exactly 1", s.Name, i, actions)
+		}
+		if len(ev.Weights) != len(names) {
+			return fmt.Errorf("workloads: %s event %d has %d weights for %d regions", s.Name, i, len(ev.Weights), len(names))
+		}
+		var w float64
+		for ri, v := range ev.Weights {
+			if v < 0 || v > 1 {
+				return fmt.Errorf("workloads: %s event %d weight %v", s.Name, i, v)
+			}
+			if freed[ri] && v != 0 {
+				return fmt.Errorf("workloads: %s event %d gives freed region %q weight %v", s.Name, i, names[ri], v)
+			}
+			w += v
+		}
+		if w < 0.99 || w > 1.01 {
+			return fmt.Errorf("workloads: %s event %d weights sum to %v", s.Name, i, w)
 		}
 	}
 	return nil

@@ -41,7 +41,7 @@ func UnaffectedSet() []Spec {
 
 // ByName finds a spec by its paper name (e.g. "CG.D", "SSCA.20").
 func ByName(name string) (Spec, error) {
-	for _, s := range append(Suite(), Streamcluster()) {
+	for _, s := range append(append(Suite(), Streamcluster()), Dynamic()...) {
 		if s.Name == name {
 			return s, nil
 		}
@@ -56,6 +56,9 @@ func Names() []string {
 		out = append(out, s.Name)
 	}
 	out = append(out, Streamcluster().Name)
+	for _, s := range Dynamic() {
+		out = append(out, s.Name)
+	}
 	sort.Strings(out)
 	return out
 }

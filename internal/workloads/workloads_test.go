@@ -24,7 +24,7 @@ func build(t *testing.T, spec Spec) *Instance {
 }
 
 func TestAllSpecsValidate(t *testing.T) {
-	for _, s := range append(Suite(), Streamcluster()) {
+	for _, s := range append(append(Suite(), Streamcluster()), Dynamic()...) {
 		if err := s.Validate(); err != nil {
 			t.Errorf("%s: %v", s.Name, err)
 		}
@@ -84,8 +84,14 @@ func TestByName(t *testing.T) {
 	if _, err := ByName("nope"); err == nil {
 		t.Fatal("unknown benchmark should error")
 	}
-	if len(Names()) != 20 {
-		t.Fatalf("Names() has %d entries, want 20", len(Names()))
+	if len(Names()) != 22 {
+		t.Fatalf("Names() has %d entries, want 22", len(Names()))
+	}
+	for _, s := range Dynamic() {
+		got, err := ByName(s.Name)
+		if err != nil || got.Name != s.Name {
+			t.Fatalf("ByName(%s) = %v, %v", s.Name, got.Name, err)
+		}
 	}
 }
 

@@ -5,14 +5,14 @@ import (
 )
 
 func TestSurfaceLists(t *testing.T) {
-	if len(Workloads()) != 20 {
-		t.Fatalf("workloads = %d, want 20", len(Workloads()))
+	if len(Workloads()) != 22 {
+		t.Fatalf("workloads = %d, want 22 (20 static + 2 dynamic)", len(Workloads()))
 	}
 	if len(Policies()) != 11 {
 		t.Fatalf("policies = %d, want 11 (7 paper + 4 beyond)", len(Policies()))
 	}
-	if len(Experiments()) != 12 {
-		t.Fatalf("experiments = %d, want 12", len(Experiments()))
+	if len(Experiments()) != 13 {
+		t.Fatalf("experiments = %d, want 13", len(Experiments()))
 	}
 }
 
