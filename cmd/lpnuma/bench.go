@@ -23,13 +23,17 @@ import (
 //	3 — adds mode (sampled/analytic): passes run under different pricing
 //	    engines are not comparable, so the field is part of the meaning
 //	    of every timing in the report
-const benchSchemaVersion = 3
+//	4 — adds suite ("sweep" here, "serve" in BENCH_serve.json): reports
+//	    from different benchmark harnesses share the version discipline
+//	    but measure different things and are never comparable
+const benchSchemaVersion = 4
 
 // benchReport is the machine-readable result of `lpnuma bench`, written
 // as JSON so successive PRs accumulate a perf trajectory
 // (BENCH_lpnuma.json in CI artifacts, or checked diffs locally).
 type benchReport struct {
 	SchemaVersion int     `json:"schema_version"`
+	Suite         string  `json:"suite"`
 	Bench         string  `json:"bench"`
 	Scale         float64 `json:"scale"`
 	Mode          string  `json:"mode"`
@@ -72,6 +76,7 @@ func runBench(args []string, stdout, stderr io.Writer) (retErr error) {
 	scale := fs.Float64("scale", 0.1, "work scale of the benchmark pass")
 	jobs := fs.Int("j", 0, "concurrent simulations (0 = host CPU count)")
 	out := fs.String("o", "BENCH_lpnuma.json", "output JSON path (- for stdout)")
+	cache := fs.String("cache", "", "persistent cell cache (warm caches change the numbers; the report's runs field says how much was simulated)")
 	modeName := fs.String("mode", "sampled", "steady-state pricing engine (sampled or analytic)")
 	var prof profileFlags
 	prof.register(fs)
@@ -98,8 +103,20 @@ func runBench(args []string, stdout, stderr io.Writer) (retErr error) {
 
 	cfg := lpnuma.ExperimentConfig{Seed: *seed, WorkScale: *scale, Mode: mode}
 	sched := lpnuma.NewScheduler(*jobs)
+	if *cache != "" {
+		store, err := openStore(*cache, sched, stderr)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := store.Close(); err != nil && retErr == nil {
+				retErr = err
+			}
+		}()
+	}
 	rep := benchReport{
 		SchemaVersion: benchSchemaVersion,
+		Suite:         "sweep",
 		Bench:         "lpnuma-all",
 		Scale:         *scale,
 		Mode:          mode.String(),

@@ -8,23 +8,34 @@
 //	lpnuma experiment fig1 [-scale 0.3] # regenerate a figure or table
 //	lpnuma all [-scale 0.3] [-j 8]      # regenerate everything (EXPERIMENTS.md source)
 //	lpnuma bench [-scale 0.1] [-j 8]    # timed sweep, JSON perf report (BENCH_lpnuma.json)
+//	lpnuma serve [-addr :8080]          # HTTP/JSON simulation daemon
+//	lpnuma servebench [-duration 10s]   # daemon load test, JSON report (BENCH_serve.json)
 //
 // The experiment and all subcommands share one sweep scheduler: the
 // union of every requested cell is deduplicated and each unique
 // (machine, workload, policy, seed, config) simulation runs exactly once
 // on a worker pool of -j goroutines. Output is identical for any -j;
 // progress goes to stderr so stdout stays a clean report.
+//
+// Sweeping subcommands accept -cache <file>: completed cells append to
+// a crash-safe log there and later passes (or the daemon) answer from
+// it without re-simulating. SIGINT/SIGTERM interrupt a pass gracefully:
+// in-flight cells stop between epochs, completed cells are already on
+// disk, and the pass reports what it finished before exiting.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/report"
@@ -66,6 +77,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exitCode(runExperiments(args[1:], stdout, stderr, lpnuma.Experiments()...), stderr)
 	case "bench":
 		return exitCode(runBench(args[1:], stdout, stderr), stderr)
+	case "serve":
+		return exitCode(runServe(args[1:], stderr), stderr)
+	case "servebench":
+		return exitCode(runServeBench(args[1:], stdout, stderr), stderr)
 	default:
 		usage(stderr)
 		return 2
@@ -107,7 +122,7 @@ func parseFlags(fs *flag.FlagSet, args []string, stderr io.Writer) error {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, "usage: lpnuma {list|run|experiment <id>|all|bench} [flags]")
+	fmt.Fprintln(w, "usage: lpnuma {list|run|experiment <id>|all|bench|serve|servebench} [flags]")
 }
 
 // profileFlags are the -cpuprofile/-memprofile options every simulating
@@ -227,6 +242,7 @@ type experimentFlags struct {
 	jobs    int
 	verbose bool
 	out     string
+	cache   string
 	mode    sim.Mode
 	prof    profileFlags
 }
@@ -240,6 +256,7 @@ func parseExperimentFlags(args []string, stderr io.Writer) (experimentFlags, err
 	fs.IntVar(&f.jobs, "j", 0, "concurrent simulations (0 = host CPU count)")
 	fs.BoolVar(&f.verbose, "v", false, "log each completed simulation cell")
 	fs.StringVar(&f.out, "o", "", "also write the pass as markdown to this file (EXPERIMENTS.md source)")
+	fs.StringVar(&f.cache, "cache", "", "persistent cell cache: append completed simulations to this crash-safe log and answer repeats from it")
 	modeName := fs.String("mode", "sampled", "steady-state pricing engine (sampled or analytic)")
 	f.prof.register(fs)
 	if err := parseFlags(fs, args, stderr); err != nil {
@@ -303,12 +320,32 @@ func runExperiments(args []string, stdout, stderr io.Writer, ids ...string) (ret
 			fmt.Fprintf(stderr, "  [%d/%d] %s\n", done, total, key)
 		}
 	}
+	if f.cache != "" {
+		store, err := openStore(f.cache, sched, stderr)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := store.Close(); err != nil && retErr == nil {
+				retErr = err
+			}
+		}()
+	}
+	// SIGINT/SIGTERM interrupt the pass between epochs: workers drain,
+	// completed cells stay cached (and on disk under -cache), and the
+	// pass reports what it finished. A second signal kills the process
+	// the usual way (stop restores default handling).
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	results := make([]lpnuma.ExperimentResult, 0, len(ids))
 	passStart := time.Now()
 	for _, id := range ids {
 		start := time.Now()
-		res, err := lpnuma.RunExperimentWith(sched, id, cfg)
+		res, err := lpnuma.RunExperimentContext(ctx, sched, id, cfg)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				return reportInterrupted(sched, stderr, passStart)
+			}
 			return err
 		}
 		fmt.Fprintf(stderr, "%s: %d cells (%d simulated, %d deduped) in %v\n",
@@ -328,6 +365,42 @@ func runExperiments(args []string, stdout, stderr io.Writer, ids ...string) (ret
 		fmt.Fprintf(stderr, "wrote %s\n", f.out)
 	}
 	return nil
+}
+
+// openStore opens the persistent cell cache, reports what recovery
+// found, and attaches it to the scheduler.
+func openStore(path string, sched *lpnuma.Scheduler, stderr io.Writer) (*runcache.Store, error) {
+	store, err := runcache.OpenStore(path)
+	if err != nil {
+		return nil, err
+	}
+	rs := store.Recovered()
+	switch {
+	case rs.Reset:
+		fmt.Fprintf(stderr, "cache %s: unrecognized file, starting fresh\n", path)
+	case rs.TruncatedBytes > 0:
+		fmt.Fprintf(stderr, "cache %s: %d cells (dropped %d-byte torn tail)\n", path, rs.Cells, rs.TruncatedBytes)
+	default:
+		fmt.Fprintf(stderr, "cache %s: %d cells\n", path, rs.Cells)
+	}
+	sched.SetStore(store)
+	return store, nil
+}
+
+// reportInterrupted drains the scheduler and prints the partial pass
+// accounting after SIGINT/SIGTERM: the stats, then every completed
+// cell (each already persisted when -cache is set), so a resumed pass
+// is accountable against this one.
+func reportInterrupted(sched *lpnuma.Scheduler, stderr io.Writer, passStart time.Time) error {
+	sched.Drain()
+	keys := sched.CompletedKeys()
+	tot := sched.Totals()
+	fmt.Fprintf(stderr, "interrupted after %v: %d cells completed (of %d requested: %d runs started, %d memory hits, %d disk hits)\n",
+		time.Since(passStart).Round(time.Millisecond), len(keys), tot.Requested, tot.Runs, tot.Hits, tot.DiskHits)
+	for _, k := range keys {
+		fmt.Fprintf(stderr, "  done %s\n", k)
+	}
+	return errors.New("interrupted")
 }
 
 // reuseSummary renders the cross-experiment cache accounting.
@@ -364,7 +437,10 @@ func markdown(results []lpnuma.ExperimentResult, summary string, f experimentFla
 	}
 	fmt.Fprintf(&b, "```\ngo run ./cmd/lpnuma %s -seed %d -scale %g%s -o %s\n```\n\n", sub, f.seed, f.scale, modeFlag, f.out)
 	b.WriteString("Output is deterministic: the same seed and scale reproduce this\n")
-	b.WriteString("file byte for byte, for any `-j` worker count.\n\n")
+	b.WriteString("file byte for byte, for any `-j` worker count. Adding `-cache\n")
+	b.WriteString("FILE` persists every completed cell to a crash-safe log, so a\n")
+	b.WriteString("repeat or interrupted-and-resumed pass simulates only cells that\n")
+	b.WriteString("never ran before (a repeat of this document runs zero).\n\n")
 	for _, res := range results {
 		fmt.Fprintf(&b, "## %s\n\n```\n%s```\n\n", res.ID, res.Text)
 	}

@@ -153,6 +153,9 @@ func TestBenchReportSchema(t *testing.T) {
 	if rep.SchemaVersion != benchSchemaVersion {
 		t.Fatalf("schema_version = %d, want %d", rep.SchemaVersion, benchSchemaVersion)
 	}
+	if rep.Suite != "sweep" {
+		t.Fatalf("suite = %q, want sweep", rep.Suite)
+	}
 	if rep.GOOS == "" || rep.GOARCH == "" || rep.GoVersion == "" {
 		t.Fatalf("host metadata missing: %+v", rep)
 	}

@@ -11,6 +11,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -603,9 +605,9 @@ func byIDMap() map[string]definition {
 
 // runDefinition resolves a definition's cells through the scheduler and
 // renders it.
-func runDefinition(def definition, cfg Config, sched *runcache.Scheduler) (Result, error) {
+func runDefinition(ctx context.Context, def definition, cfg Config, sched *runcache.Scheduler) (Result, error) {
 	reqs := def.declare(cfg)
-	results, stats, err := sched.Results(reqs)
+	results, stats, err := sched.ResultsContext(ctx, reqs)
 	if err != nil {
 		return Result{}, fmt.Errorf("experiment %s: %w", def.id, err)
 	}
@@ -629,11 +631,19 @@ func Declare(id string, cfg Config) ([]runner.Request, error) {
 // cells already computed for earlier experiments are reused instead of
 // re-simulated.
 func ByIDWith(sched *runcache.Scheduler, id string, cfg Config) (Result, error) {
+	return ByIDContext(context.Background(), sched, id, cfg)
+}
+
+// ByIDContext is ByIDWith with cancellation: canceling ctx aborts the
+// experiment's in-flight simulations (cells no other caller shares) and
+// returns the context's error. Cells that completed before the
+// cancellation stay in the scheduler's cache.
+func ByIDContext(ctx context.Context, sched *runcache.Scheduler, id string, cfg Config) (Result, error) {
 	def, ok := byIDMap()[id]
 	if !ok {
 		return Result{}, unknownErr(id)
 	}
-	return runDefinition(def, cfg, sched)
+	return runDefinition(ctx, def, cfg, sched)
 }
 
 // ByID runs one experiment by identifier on a private scheduler sized to
@@ -647,13 +657,18 @@ func ByID(id string, cfg Config) (Result, error) {
 // unique cell is simulated once, and every experiment renders from the
 // shared matrix.
 func All(sched *runcache.Scheduler, cfg Config) ([]Result, error) {
+	return AllContext(context.Background(), sched, cfg)
+}
+
+// AllContext is All with cancellation semantics as in ByIDContext.
+func AllContext(ctx context.Context, sched *runcache.Scheduler, cfg Config) ([]Result, error) {
 	if sched == nil {
 		sched = runcache.New(0)
 	}
 	defs := definitions()
 	out := make([]Result, 0, len(defs))
 	for _, def := range defs {
-		res, err := runDefinition(def, cfg, sched)
+		res, err := runDefinition(ctx, def, cfg, sched)
 		if err != nil {
 			return nil, err
 		}
@@ -662,8 +677,13 @@ func All(sched *runcache.Scheduler, cfg Config) ([]Result, error) {
 	return out, nil
 }
 
+// ErrUnknownExperiment is the typed resolution failure for experiment
+// identifiers, matched with errors.Is (the serve layer answers it with
+// HTTP 400).
+var ErrUnknownExperiment = errors.New("experiments: unknown experiment")
+
 func unknownErr(id string) error {
-	return fmt.Errorf("experiments: unknown experiment %q (want %s)", id, strings.Join(IDs(), ", "))
+	return fmt.Errorf("%w %q (want %s)", ErrUnknownExperiment, id, strings.Join(IDs(), ", "))
 }
 
 // IDs lists the available experiments in regeneration order.

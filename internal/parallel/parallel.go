@@ -12,7 +12,10 @@
 // change a simulation's output, only its wall-clock time.
 package parallel
 
-import "runtime"
+import (
+	"context"
+	"runtime"
+)
 
 // Pool is a fixed budget of worker tokens. The zero value is not usable;
 // call NewPool.
@@ -38,6 +41,18 @@ func (p *Pool) Cap() int { return cap(p.tokens) }
 // Acquire blocks until a token is available and takes it. The sweep
 // scheduler acquires one token per running simulation.
 func (p *Pool) Acquire() { <-p.tokens }
+
+// AcquireCtx blocks until a token is available or ctx is done. It
+// reports ctx.Err() without taking a token when the context wins, so a
+// canceled simulation queued behind a busy pool never occupies a slot.
+func (p *Pool) AcquireCtx(ctx context.Context) error {
+	select {
+	case <-p.tokens:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
 // Release returns one token.
 func (p *Pool) Release() { p.tokens <- struct{}{} }

@@ -35,6 +35,7 @@
 package policy
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -159,6 +160,12 @@ func specs() []Spec {
 	}
 }
 
+// ErrUnknownPolicy is the typed resolution failure of SpecByName and
+// ByName, matched with errors.Is by callers that must tell a bad policy
+// name from an engine failure (the serve layer answers it with HTTP
+// 400).
+var ErrUnknownPolicy = errors.New("policy: unknown policy")
+
 // SpecByName returns the declarative spec of a named policy.
 func SpecByName(name string) (Spec, error) {
 	for _, s := range specs() {
@@ -166,7 +173,7 @@ func SpecByName(name string) (Spec, error) {
 			return s, nil
 		}
 	}
-	return Spec{}, fmt.Errorf("policy: unknown policy %q", name)
+	return Spec{}, fmt.Errorf("%w %q", ErrUnknownPolicy, name)
 }
 
 // Linux4K is default Linux with 4 KB pages.

@@ -1,6 +1,7 @@
 package runcache
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/workloads"
 )
 
 // fakeRunner counts executions per key and returns a result encoding the
@@ -20,7 +22,7 @@ type fakeRunner struct {
 
 func newFakeRunner() *fakeRunner { return &fakeRunner{count: map[Key]int{}} }
 
-func (f *fakeRunner) run(req runner.Request) (sim.Result, error) {
+func (f *fakeRunner) run(_ context.Context, req runner.Request) (sim.Result, error) {
 	f.mu.Lock()
 	f.count[KeyOf(req)]++
 	f.mu.Unlock()
@@ -170,14 +172,33 @@ func TestErrorAbortsInRequestOrder(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "synthetic failure") {
 		t.Fatalf("error not propagated: %v", err)
 	}
-	// The failed cell is cached too: retrying must not re-execute it.
+	// Failed cells are evicted, never served as cached outcomes: a
+	// retry re-executes the cell (and here fails afresh), while the
+	// batch's successful cell stays cached.
 	before := fake.executions()
 	_, _, err = s.Results([]runner.Request{req("A", "boom", "THP", 1)})
 	if err == nil {
-		t.Fatal("cached failure should still fail")
+		t.Fatal("retried failure should fail again")
 	}
-	if fake.executions() != before {
-		t.Fatal("cached failure re-executed")
+	if fake.executions() != before+1 {
+		t.Fatalf("failed cell should re-execute on retry: %d executions, want %d", fake.executions(), before+1)
+	}
+	if _, _, err := s.Results([]runner.Request{req("A", "ok", "THP", 1)}); err != nil {
+		t.Fatalf("successful cell from the aborted batch should stay cached: %v", err)
+	}
+	if got := fake.count[KeyOf(req("A", "ok", "THP", 1))]; got != 1 {
+		t.Fatalf("successful cell executed %d times, want 1", got)
+	}
+}
+
+// TestCellErrorsStayMatchable: the scheduler's per-cell wrapping must
+// preserve errors.Is, so callers (the serve layer's 400 mapping) can
+// still match runner sentinels through the chain.
+func TestCellErrorsStayMatchable(t *testing.T) {
+	s := New(1)
+	_, _, err := s.Results([]runner.Request{req("A", "no-such-benchmark", "THP", 1)})
+	if !errors.Is(err, workloads.ErrUnknownWorkload) {
+		t.Fatalf("wrapped cell error = %v, want errors.Is ErrUnknownWorkload", err)
 	}
 }
 

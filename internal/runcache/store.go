@@ -1,0 +1,248 @@
+// The persistent runcache tier: a checksummed append-log of completed
+// simulation cells, keyed by the same exhaustive content address
+// (KeyOf) as the in-memory cache, so sweeps, CI and the serve daemon
+// only ever simulate cells that never ran anywhere before.
+//
+// Crash-safety model: every completed cell is appended as one
+// length-prefixed, CRC-32C-checksummed record in a single write(2)
+// call. A process killed mid-write (kill -9, OOM, power on a synced
+// disk) can tear at most the final record; Open detects the torn or
+// corrupt tail by checksum and truncates the file back to its last
+// valid record, so completed cells are never lost and a damaged log
+// never serves garbage. A file whose header is unrecognizable (the
+// "corrupted cache file" fault-injection trigger) is discarded whole
+// and restarted rather than trusted.
+package runcache
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// storeMagic identifies the log format; bump the trailing version byte
+// on any record-layout change so an old binary never misparses a new
+// log (an unknown header reads as corrupt and resets the file).
+const storeMagic = "lpnuma-runcache\x01"
+
+// maxRecordBytes bounds one record's payload during recovery scanning:
+// a length field beyond it means the length itself is torn garbage. A
+// real record (one Key + one sim.Result as JSON) is under a kilobyte.
+const maxRecordBytes = 1 << 20
+
+var storeCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// storeRecord is one logged cell.
+type storeRecord struct {
+	K Key
+	R sim.Result
+}
+
+// RecoverStats describes what Open found in an existing log.
+type RecoverStats struct {
+	// Cells is the number of valid records recovered.
+	Cells int
+	// TruncatedBytes is the size of the torn or corrupt tail dropped
+	// from the log (0 for a cleanly closed file).
+	TruncatedBytes int64
+	// Reset reports that the file's header was not a runcache log at
+	// all, so the whole file was discarded and the log restarted.
+	Reset bool
+}
+
+// Store is the persistent cache tier. All methods are safe for
+// concurrent use. Every Key maps to exactly one record: Put ignores
+// keys already present (simulation results are content-addressed, so a
+// second result for the same key is byte-identical by construction).
+type Store struct {
+	mu    sync.Mutex
+	path  string
+	f     *os.File
+	cells map[Key]sim.Result
+	// err is the first append failure; once set the store stops
+	// writing (the in-memory map keeps serving) and Sync/Close report
+	// it, so a full disk degrades the cache to memory-only instead of
+	// interleaving torn records.
+	err       error
+	recovered RecoverStats
+}
+
+// OpenStore opens or creates the log at path, recovering every valid
+// record and truncating any torn tail. The returned store is ready for
+// Get/Put; Recovered reports what the recovery pass found.
+func OpenStore(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runcache: open store: %w", err)
+	}
+	st := &Store{path: path, f: f, cells: map[Key]sim.Result{}}
+	if err := st.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return st, nil
+}
+
+// recover scans the log, loads every valid record, and truncates the
+// file after the last one.
+func (st *Store) recover() error {
+	data, err := io.ReadAll(st.f)
+	if err != nil {
+		return fmt.Errorf("runcache: read store: %w", err)
+	}
+	if len(data) == 0 {
+		if _, err := st.f.Write([]byte(storeMagic)); err != nil {
+			return fmt.Errorf("runcache: init store: %w", err)
+		}
+		return nil
+	}
+	good := int64(len(storeMagic))
+	if len(data) < len(storeMagic) || string(data[:len(storeMagic)]) != storeMagic {
+		// Not our log (or a header torn beyond recognition): restart it
+		// rather than guessing at record boundaries.
+		st.recovered.Reset = true
+		st.recovered.TruncatedBytes = int64(len(data))
+		if err := st.f.Truncate(0); err != nil {
+			return fmt.Errorf("runcache: reset store: %w", err)
+		}
+		if _, err := st.f.WriteAt([]byte(storeMagic), 0); err != nil {
+			return fmt.Errorf("runcache: init store: %w", err)
+		}
+		if _, err := st.f.Seek(0, io.SeekEnd); err != nil {
+			return err
+		}
+		return nil
+	}
+	off := good
+	for {
+		rest := data[off:]
+		if len(rest) < 8 {
+			break // clean end (0) or torn length/checksum prefix
+		}
+		n := int64(binary.LittleEndian.Uint32(rest[0:4]))
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if n == 0 || n > maxRecordBytes || off+8+n > int64(len(data)) {
+			break // torn tail: length field or payload incomplete
+		}
+		payload := rest[8 : 8+n]
+		if crc32.Checksum(payload, storeCRC) != sum {
+			break // corrupt record: stop trusting everything from here
+		}
+		var rec storeRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			break // checksummed but unparseable: written by a newer format?
+		}
+		st.cells[rec.K] = rec.R
+		off += 8 + n
+		good = off
+	}
+	st.recovered.Cells = len(st.cells)
+	if good < int64(len(data)) {
+		st.recovered.TruncatedBytes = int64(len(data)) - good
+		if err := st.f.Truncate(good); err != nil {
+			return fmt.Errorf("runcache: truncate torn tail: %w", err)
+		}
+	}
+	if _, err := st.f.Seek(good, io.SeekStart); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Recovered reports what the opening recovery pass found.
+func (st *Store) Recovered() RecoverStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.recovered
+}
+
+// Path returns the log's file path.
+func (st *Store) Path() string { return st.path }
+
+// Len reports the number of cells resident in the store.
+func (st *Store) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.cells)
+}
+
+// Keys lists every stored cell, sorted like Scheduler.CompletedKeys,
+// so crash-recovery tooling can account for exactly what survived.
+func (st *Store) Keys() []Key {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	keys := make([]Key, 0, len(st.cells))
+	for k := range st.cells {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	return keys
+}
+
+// Get returns the cached result for k, if present.
+func (st *Store) Get(k Key) (sim.Result, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	res, ok := st.cells[k]
+	return res, ok
+}
+
+// Put appends one completed cell to the log (a no-op if k is already
+// present). The record reaches the operating system before Put returns
+// — one write(2) call — so a killed process loses nothing it reported
+// complete; only Sync forces it to the disk itself. Append failures are
+// sticky: the store keeps answering Gets from memory but writes stop,
+// and the error surfaces here and from Sync/Close.
+func (st *Store) Put(k Key, res sim.Result) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.cells[k]; ok {
+		return st.err
+	}
+	st.cells[k] = res
+	if st.err != nil {
+		return st.err
+	}
+	payload, err := json.Marshal(storeRecord{K: k, R: res})
+	if err != nil {
+		st.err = fmt.Errorf("runcache: encode cell %s: %w", k, err)
+		return st.err
+	}
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, storeCRC))
+	copy(buf[8:], payload)
+	if _, err := st.f.Write(buf); err != nil {
+		st.err = fmt.Errorf("runcache: append cell %s: %w", k, err)
+	}
+	return st.err
+}
+
+// Sync flushes the log to stable storage and reports any sticky append
+// failure.
+func (st *Store) Sync() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err := st.f.Sync(); err != nil && st.err == nil {
+		st.err = fmt.Errorf("runcache: sync store: %w", err)
+	}
+	return st.err
+}
+
+// Close syncs and closes the log file. The store must not be used
+// afterwards.
+func (st *Store) Close() error {
+	err := st.Sync()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if cerr := st.f.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("runcache: close store: %w", cerr)
+	}
+	return err
+}

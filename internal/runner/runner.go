@@ -4,6 +4,8 @@
 package runner
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -13,6 +15,13 @@ import (
 	"repro/internal/topo"
 	"repro/internal/workloads"
 )
+
+// ErrUnknownMachine is the resolution failure for Request.Machine.
+// Callers distinguish bad requests from engine failures with
+// errors.Is — the serve layer maps every resolution sentinel
+// (ErrUnknownMachine, workloads.ErrUnknownWorkload,
+// policy.ErrUnknownPolicy) to HTTP 400.
+var ErrUnknownMachine = errors.New("runner: unknown machine")
 
 // Request names one run.
 type Request struct {
@@ -32,12 +41,23 @@ func MachineByName(name string) (*topo.Machine, error) {
 	case "B", "b":
 		return topo.MachineB(), nil
 	default:
-		return nil, fmt.Errorf("runner: unknown machine %q (want A or B)", name)
+		return nil, fmt.Errorf("%w %q (want A or B)", ErrUnknownMachine, name)
 	}
 }
 
 // Run executes one simulation.
 func Run(req Request) (sim.Result, error) {
+	return RunContext(context.Background(), req)
+}
+
+// RunContext executes one simulation, aborting between epochs when ctx
+// is canceled (the engine polls the context once per epoch, so
+// cancellation latency is one epoch of host time). The returned error is
+// ctx.Err() on cancellation, a resolution sentinel
+// (ErrUnknownMachine, workloads.ErrUnknownWorkload,
+// policy.ErrUnknownPolicy) wrapped with request context on a bad name,
+// or an engine construction failure.
+func RunContext(ctx context.Context, req Request) (sim.Result, error) {
 	m, err := MachineByName(req.Machine)
 	if err != nil {
 		return sim.Result{}, err
@@ -61,7 +81,7 @@ func Run(req Request) (sim.Result, error) {
 	if err != nil {
 		return sim.Result{}, err
 	}
-	return eng.Run(), nil
+	return eng.RunContext(ctx)
 }
 
 // RunAll executes the requests with host parallelism (each simulation is

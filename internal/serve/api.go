@@ -1,0 +1,84 @@
+// Package serve is the lpnuma simulation daemon: an HTTP/JSON service
+// that accepts (machine, workload, policy, config) cells and sweeps,
+// executes them on the shared bounded worker pool, and answers repeat
+// requests from the content-addressed cache — including the persistent
+// crash-safe tier, so a restarted daemon keeps every cell any previous
+// process completed.
+//
+// Robustness contract (see DESIGN.md §4.9):
+//
+//   - Admission is bounded: past MaxInflight concurrently admitted
+//     requests the daemon sheds load with 429 + Retry-After instead of
+//     queueing unboundedly.
+//   - Identical concurrent requests are single-flighted: N clients
+//     asking for the same cell cost one simulation.
+//   - Shutdown is graceful: admitted requests complete, new ones are
+//     refused, the cache log is flushed, then Serve returns.
+//   - Client disconnects propagate: a canceled request releases its
+//     cells, and a cell nobody wants anymore is aborted between epochs.
+package serve
+
+import (
+	"repro/internal/runcache"
+	"repro/internal/sim"
+)
+
+// RunRequest names one simulation cell. Mode and WorkScale override the
+// default engine configuration; the zero values keep the defaults.
+type RunRequest struct {
+	Machine  string  `json:"machine"`
+	Workload string  `json:"workload"`
+	Policy   string  `json:"policy"`
+	Seed     uint64  `json:"seed,omitempty"`
+	Mode     string  `json:"mode,omitempty"`       // "sampled" (default) or "analytic"
+	Scale    float64 `json:"work_scale,omitempty"` // 0 keeps the default 1.0
+}
+
+// RunResponse carries one cell's result plus where it came from.
+type RunResponse struct {
+	Result sim.Result `json:"result"`
+	// Cached reports that no simulation ran for this request: the cell
+	// was already in memory or on disk (an in-flight join still counts
+	// as cached — the simulation was paid for by an earlier request).
+	Cached bool `json:"cached"`
+}
+
+// SweepRequest names the cross product of its axes, one cell per
+// (machine, workload, policy, seed) combination. Empty seed lists
+// default to seed 1.
+type SweepRequest struct {
+	Machines  []string `json:"machines"`
+	Workloads []string `json:"workloads"`
+	Policies  []string `json:"policies"`
+	Seeds     []uint64 `json:"seeds,omitempty"`
+	Mode      string   `json:"mode,omitempty"`
+	Scale     float64  `json:"work_scale,omitempty"`
+}
+
+// SweepResponse carries results in cell order (machines outermost,
+// seeds innermost) plus the batch's cache statistics.
+type SweepResponse struct {
+	Results []sim.Result   `json:"results"`
+	Stats   runcache.Stats `json:"stats"`
+}
+
+// StatsResponse is the daemon's observable state.
+type StatsResponse struct {
+	// Totals aggregates every batch's cache statistics since startup.
+	Totals runcache.Stats `json:"totals"`
+	// CachedCells is the in-memory cache population.
+	CachedCells int `json:"cached_cells"`
+	// DiskCells is the persistent tier's population (0 without -cache).
+	DiskCells int `json:"disk_cells"`
+	// Shed counts requests refused with 429 since startup.
+	Shed uint64 `json:"shed"`
+	// Workers is the simulation worker-pool size.
+	Workers int `json:"workers"`
+	// Draining reports that shutdown has begun.
+	Draining bool `json:"draining"`
+}
+
+// errorResponse is the JSON body of every non-2xx answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,209 @@
+// Package client talks to the lpnuma serve daemon with timeouts,
+// bounded retries and exponential backoff. Retries honor the daemon's
+// Retry-After header (the load-shedding contract: a 429 names when to
+// come back) and are attempted only for outcomes that can change on a
+// retry — shed load, draining servers, gateway failures and transport
+// errors — never for 400s, which are the caller's own mistake.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Config tunes a Client; the zero value is usable.
+type Config struct {
+	// MaxRetries bounds re-attempts after the first try (default 4).
+	MaxRetries int
+	// BaseBackoff is the first retry's delay, doubled per attempt
+	// (default 100ms); a Retry-After header overrides it when longer.
+	BaseBackoff time.Duration
+	// RequestTimeout bounds one attempt (default 2m: a cold sweep cell
+	// simulates for real). The per-call ctx still bounds the whole call.
+	RequestTimeout time.Duration
+	// HTTPClient substitutes a transport (default http.DefaultClient).
+	HTTPClient *http.Client
+}
+
+// Client is safe for concurrent use.
+type Client struct {
+	base string
+	cfg  Config
+}
+
+// New builds a client for the daemon at base (e.g. "http://127.0.0.1:8080").
+func New(base string, cfg Config) *Client {
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 4
+	}
+	if cfg.BaseBackoff == 0 {
+		cfg.BaseBackoff = 100 * time.Millisecond
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 2 * time.Minute
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = http.DefaultClient
+	}
+	return &Client{base: base, cfg: cfg}
+}
+
+// StatusError is a non-2xx daemon answer that was not retried away.
+type StatusError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("serve: %d %s: %s", e.StatusCode, http.StatusText(e.StatusCode), e.Message)
+}
+
+// Run executes (or fetches) one cell.
+func (c *Client) Run(ctx context.Context, req serve.RunRequest) (serve.RunResponse, error) {
+	var resp serve.RunResponse
+	err := c.post(ctx, "/v1/run", req, &resp)
+	return resp, err
+}
+
+// Sweep executes (or fetches) a cross product of cells.
+func (c *Client) Sweep(ctx context.Context, req serve.SweepRequest) (serve.SweepResponse, error) {
+	var resp serve.SweepResponse
+	err := c.post(ctx, "/v1/sweep", req, &resp)
+	return resp, err
+}
+
+// Stats fetches the daemon's counters.
+func (c *Client) Stats(ctx context.Context) (serve.StatsResponse, error) {
+	var resp serve.StatsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &resp)
+	return resp, err
+}
+
+// Healthz reports whether the daemon answers and is not draining.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil)
+}
+
+func (c *Client) post(ctx context.Context, path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("client: encode request: %w", err)
+	}
+	return c.do(ctx, http.MethodPost, path, body, resp)
+}
+
+// do runs the retry loop: each attempt gets its own timeout, retryable
+// outcomes back off (honoring Retry-After) and try again until the
+// budget or the caller's ctx runs out.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, resp any) error {
+	var lastErr error
+	backoff := c.cfg.BaseBackoff
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			delay := backoff
+			if ra := retryAfter(lastErr); ra > delay {
+				delay = ra
+			}
+			backoff *= 2
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return fmt.Errorf("client: %w (last attempt: %v)", ctx.Err(), lastErr)
+			}
+		}
+		err := c.attempt(ctx, method, path, body, resp)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil || !retryable(err) {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("client: giving up after %d attempts: %w", c.cfg.MaxRetries+1, lastErr)
+}
+
+// statusError augments StatusError with the shed contract's header.
+type statusError struct {
+	StatusError
+	retryAfter time.Duration
+}
+
+// Unwrap lets callers match the public type:
+// errors.As(err, new(*StatusError)).
+func (e *statusError) Unwrap() error { return &e.StatusError }
+
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, resp any) error {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("client: build request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	res, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode/100 != 2 {
+		var msg struct {
+			Error string `json:"error"`
+		}
+		data, _ := io.ReadAll(io.LimitReader(res.Body, 1<<16))
+		if json.Unmarshal(data, &msg) != nil || msg.Error == "" {
+			msg.Error = string(data)
+		}
+		se := &statusError{StatusError: StatusError{StatusCode: res.StatusCode, Message: msg.Error}}
+		if secs, err := strconv.Atoi(res.Header.Get("Retry-After")); err == nil && secs > 0 {
+			se.retryAfter = time.Duration(secs) * time.Second
+		}
+		return se
+	}
+	if resp == nil {
+		return nil
+	}
+	if err := json.NewDecoder(res.Body).Decode(resp); err != nil {
+		return fmt.Errorf("client: decode response: %w", err)
+	}
+	return nil
+}
+
+// retryable reports whether a fresh attempt could change the outcome.
+func retryable(err error) bool {
+	var se *statusError
+	if errors.As(err, &se) {
+		switch se.StatusCode {
+		case http.StatusTooManyRequests, http.StatusBadGateway,
+			http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return true
+		}
+		return false
+	}
+	// Transport errors (refused, reset, attempt timeout) are retryable;
+	// the caller's own cancellation is checked by the loop.
+	return true
+}
+
+func retryAfter(err error) time.Duration {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.retryAfter
+	}
+	return 0
+}

@@ -1,0 +1,166 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/sim"
+)
+
+// flaky answers failures until `fails` attempts have happened, then
+// serves a fixed run response.
+func flaky(t *testing.T, fails int, status int, retryAfter string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if int(n) <= fails {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.WriteHeader(status)
+			w.Write([]byte(`{"error":"synthetic"}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"result":{"RuntimeSeconds":1.5},"cached":true}`))
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+func TestRetriesShedLoad(t *testing.T) {
+	ts, calls := flaky(t, 2, http.StatusTooManyRequests, "")
+	c := New(ts.URL, Config{BaseBackoff: time.Millisecond})
+	resp, err := c.Run(context.Background(), serve.RunRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Result != (sim.Result{RuntimeSeconds: 1.5}) || !resp.Cached {
+		t.Fatalf("response = %+v", resp)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("%d attempts, want 3 (2 shed + 1 success)", calls.Load())
+	}
+}
+
+func TestHonorsRetryAfter(t *testing.T) {
+	ts, _ := flaky(t, 1, http.StatusServiceUnavailable, "1")
+	c := New(ts.URL, Config{BaseBackoff: time.Millisecond})
+	start := time.Now()
+	if _, err := c.Run(context.Background(), serve.RunRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < time.Second {
+		t.Fatalf("retried after %v, want >= the 1s Retry-After", d)
+	}
+}
+
+func TestNoRetryOn400(t *testing.T) {
+	ts, calls := flaky(t, 10, http.StatusBadRequest, "")
+	c := New(ts.URL, Config{BaseBackoff: time.Millisecond})
+	_, err := c.Run(context.Background(), serve.RunRequest{})
+	var se *StatusError
+	if !errors.As(err, &se) || se.StatusCode != http.StatusBadRequest {
+		t.Fatalf("err = %v, want StatusError 400", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("400 retried: %d attempts", calls.Load())
+	}
+}
+
+func TestGivesUpAfterBudget(t *testing.T) {
+	ts, calls := flaky(t, 100, http.StatusTooManyRequests, "")
+	c := New(ts.URL, Config{MaxRetries: 2, BaseBackoff: time.Millisecond})
+	_, err := c.Run(context.Background(), serve.RunRequest{})
+	if err == nil {
+		t.Fatal("want failure after budget")
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("%d attempts, want 3 (1 + 2 retries)", calls.Load())
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("final error %v should wrap the last StatusError", err)
+	}
+}
+
+func TestTransportErrorsRetry(t *testing.T) {
+	// A server that dies after the first connection: attempt 1 gets a
+	// connection reset, the retry hits the replacement server.
+	ts, _ := flaky(t, 0, 0, "")
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("connection killed") // net/http resets the connection on panic
+	}))
+	c := New(dead.URL, Config{MaxRetries: 1, BaseBackoff: time.Millisecond})
+	if _, err := c.Run(context.Background(), serve.RunRequest{}); err == nil {
+		t.Fatal("dead server should fail after budget")
+	}
+	dead.Close()
+	// Same client shape against a healthy server succeeds first try.
+	c2 := New(ts.URL, Config{MaxRetries: 1, BaseBackoff: time.Millisecond})
+	if _, err := c2.Run(context.Background(), serve.RunRequest{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCallerContextStopsRetries(t *testing.T) {
+	ts, _ := flaky(t, 100, http.StatusTooManyRequests, "5")
+	c := New(ts.URL, Config{MaxRetries: 10, BaseBackoff: time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Run(ctx, serve.RunRequest{})
+	if err == nil {
+		t.Fatal("want context expiry")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("retry loop outlived the caller's context")
+	}
+}
+
+// TestEndToEnd drives the real daemon handler through the client.
+func TestEndToEnd(t *testing.T) {
+	s, err := serve.New(serve.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := New(ts.URL, Config{})
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	req := serve.RunRequest{Machine: "A", Workload: "EP.C", Policy: "Linux4K", Seed: 1, Scale: 0.02}
+	first, err := c.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached || second.Result != first.Result {
+		t.Fatalf("cached replay diverged: %+v vs %+v", second, first)
+	}
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Totals.Runs != 1 || st.Totals.Hits != 1 {
+		t.Fatalf("stats = %+v", st.Totals)
+	}
+	// A bad name surfaces as a non-retried StatusError 400.
+	_, err = c.Run(context.Background(), serve.RunRequest{Machine: "Z", Workload: "EP.C", Policy: "THP"})
+	var se *StatusError
+	if !errors.As(err, &se) || se.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad name through client = %v, want 400", err)
+	}
+}

@@ -1,0 +1,390 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fastRun is a cheap real cell (EP.C at 2% scale simulates in
+// milliseconds).
+func fastRun(seed uint64) RunRequest {
+	return RunRequest{Machine: "A", Workload: "EP.C", Policy: "Linux4K", Seed: seed, Scale: 0.02}
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		if err := s.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	return s, ts
+}
+
+func post(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestRunEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	resp := post(t, ts.URL+"/v1/run", fastRun(1))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	rr := decode[RunResponse](t, resp)
+	if rr.Cached || rr.Result.RuntimeSeconds <= 0 {
+		t.Fatalf("first run: %+v", rr)
+	}
+	// The identical request is answered from cache.
+	rr2 := decode[RunResponse](t, post(t, ts.URL+"/v1/run", fastRun(1)))
+	if !rr2.Cached || rr2.Result != rr.Result {
+		t.Fatalf("repeat run not cached: %+v", rr2)
+	}
+}
+
+func TestBadNamesAnswer400(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	for _, req := range []RunRequest{
+		{Machine: "Z", Workload: "EP.C", Policy: "THP"},
+		{Machine: "A", Workload: "nope", Policy: "THP"},
+		{Machine: "A", Workload: "EP.C", Policy: "nope"},
+		{Machine: "A", Workload: "EP.C", Policy: "THP", Mode: "nope"},
+	} {
+		resp := post(t, ts.URL+"/v1/run", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%+v answered %d, want 400", req, resp.StatusCode)
+		}
+		er := decode[errorResponse](t, resp)
+		if er.Error == "" {
+			t.Fatalf("%+v: empty error body", req)
+		}
+	}
+	// Garbage bodies and unknown fields are 400 too, not 500.
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(`{"machine": 7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage body answered %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+	req := SweepRequest{
+		Machines:  []string{"A"},
+		Workloads: []string{"EP.C"},
+		Policies:  []string{"Linux4K", "THP"},
+		Seeds:     []uint64{1, 2},
+		Scale:     0.02,
+	}
+	sr := decode[SweepResponse](t, post(t, ts.URL+"/v1/sweep", req))
+	if len(sr.Results) != 4 {
+		t.Fatalf("sweep returned %d cells, want 4", len(sr.Results))
+	}
+	if sr.Stats.Runs != 4 || sr.Stats.Unique != 4 {
+		t.Fatalf("cold sweep stats = %+v", sr.Stats)
+	}
+	// Cell order: machines, workloads, policies, seeds — seed innermost.
+	if sr.Results[0].Policy != "Linux4K" || sr.Results[2].Policy != "THP" {
+		t.Fatalf("cell order wrong: %+v", sr.Results)
+	}
+	// Oversized cross products are refused up front.
+	big := SweepRequest{
+		Machines:  []string{"A", "B"},
+		Workloads: make([]string, 100),
+		Policies:  make([]string, 100),
+	}
+	for i := range big.Workloads {
+		big.Workloads[i] = "EP.C"
+	}
+	for i := range big.Policies {
+		big.Policies[i] = "THP"
+	}
+	resp := post(t, ts.URL+"/v1/sweep", big)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized sweep answered %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestConcurrentIdenticalRequestsRunOnce is the single-flight
+// acceptance criterion: N concurrent identical requests cost exactly
+// one simulation.
+func TestConcurrentIdenticalRequestsRunOnce(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, MaxInflight: 64})
+	const n = 16
+	var wg sync.WaitGroup
+	results := make([]RunResponse, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp := post(t, ts.URL+"/v1/run", fastRun(7))
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: status %d", i, resp.StatusCode)
+				resp.Body.Close()
+				return
+			}
+			results[i] = decode[RunResponse](t, resp)
+		}(i)
+	}
+	wg.Wait()
+	if tot := s.Scheduler().Totals(); tot.Runs != 1 {
+		t.Fatalf("%d concurrent identical requests ran %d simulations, want 1", n, tot.Runs)
+	}
+	for i := 1; i < n; i++ {
+		if results[i].Result != results[0].Result {
+			t.Fatalf("request %d diverged: %+v vs %+v", i, results[i].Result, results[0].Result)
+		}
+	}
+}
+
+// TestSaturationSheds429: with admission full, new requests answer 429
+// with Retry-After instead of queueing.
+func TestSaturationSheds429(t *testing.T) {
+	s, err := New(Config{Workers: 1, MaxInflight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Occupy the single admission slot directly.
+	s.admit <- struct{}{}
+	resp := post(t, ts.URL+"/v1/run", fastRun(1))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated daemon answered %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	resp.Body.Close()
+	if s.shed.Load() != 1 {
+		t.Fatalf("shed counter = %d, want 1", s.shed.Load())
+	}
+	// Slot freed: the same request is admitted and served.
+	<-s.admit
+	resp = post(t, ts.URL+"/v1/run", fastRun(1))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("after release: %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// /v1/stats reports the shed count.
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decode[StatsResponse](t, sresp)
+	if st.Shed != 1 || st.Totals.Runs != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestPersistentCacheAcrossServers: a second server over the same cache
+// path answers without simulating (the daemon-restart contract).
+func TestPersistentCacheAcrossServers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.log")
+	s1, err := New(Config{Workers: 2, CachePath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	first := decode[RunResponse](t, post(t, ts1.URL+"/v1/run", fastRun(3)))
+	ts1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(Config{Workers: 2, CachePath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	second := decode[RunResponse](t, post(t, ts2.URL+"/v1/run", fastRun(3)))
+	if !second.Cached || second.Result != first.Result {
+		t.Fatalf("restarted daemon re-simulated: %+v vs %+v", second, first)
+	}
+	if tot := s2.Scheduler().Totals(); tot.Runs != 0 || tot.DiskHits != 1 {
+		t.Fatalf("restarted totals = %+v, want a pure disk hit", tot)
+	}
+}
+
+// TestGracefulDrain: canceling Serve's context completes admitted
+// requests, rejects new ones, and returns after a clean drain.
+func TestGracefulDrain(t *testing.T) {
+	s, err := New(Config{Workers: 2, DrainTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+
+	// An admitted in-flight request must complete across the drain.
+	inflight := make(chan *http.Response, 1)
+	go func() {
+		data, _ := json.Marshal(RunRequest{Machine: "B", Workload: "CG.D", Policy: "THP", Seed: 9, Scale: 0.05})
+		resp, err := http.Post(base+"/v1/run", "application/json", bytes.NewReader(data))
+		if err != nil {
+			t.Errorf("in-flight request failed: %v", err)
+			close(inflight)
+			return
+		}
+		inflight <- resp
+	}()
+	// Wait until the cell is actually admitted and running.
+	for s.Scheduler().Totals().Requested == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("Serve returned %v, want clean drain", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("Serve did not return after cancel")
+	}
+	resp, ok := <-inflight
+	if !ok {
+		t.Fatal("in-flight request lost")
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-flight request answered %d across drain, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// The drained listener refuses new work entirely.
+	if _, err := http.Get(base + "/v1/healthz"); err == nil {
+		t.Fatal("drained server still accepting connections")
+	}
+}
+
+// TestCanceledClientReleasesCell: a client that disconnects mid-run
+// releases its interest; as sole owner the cell is canceled and later
+// requests re-run it rather than hanging or erroring.
+func TestCanceledClientReleasesCell(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	data, _ := json.Marshal(RunRequest{Machine: "B", Workload: "CG.D", Policy: "CarrefourLP", Seed: 1})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/run", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	for s.Scheduler().Totals().Requested == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("canceled request reported success")
+	}
+	// Drain() here would run concurrently with the still-live handler's
+	// cell spawning (the client unblocks before the handler returns), so
+	// poll for the eviction instead — the observable a real operator has.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Scheduler().CachedCells() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("canceled sole-interest cell still cached: %d cells", s.Scheduler().CachedCells())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The daemon still serves: a cheap request succeeds afterwards.
+	resp := post(t, ts.URL+"/v1/run", fastRun(1))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("daemon wedged after client cancel: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestHealthz(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	s.draining.Store(true)
+	resp, err = http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz = %d, want 503", resp.StatusCode)
+	}
+	s.draining.Store(false)
+}
+
+// TestDrainingRejectsNewWork: once draining, run/sweep answer 503
+// before any admission.
+func TestDrainingRejectsNewWork(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	s.draining.Store(true)
+	defer s.draining.Store(false)
+	resp := post(t, ts.URL+"/v1/run", fastRun(1))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining run answered %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	if tot := s.Scheduler().Totals(); tot.Requested != 0 {
+		t.Fatalf("draining daemon still admitted work: %+v", tot)
+	}
+}

@@ -21,6 +21,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -456,11 +457,37 @@ func (e *Engine) core(t int) topo.CoreID { return topo.CoreID(t) }
 
 // Run executes the simulation to completion and returns the result.
 func (e *Engine) Run() Result {
+	res, err := e.RunContext(context.Background())
+	if err != nil {
+		// Unreachable: the background context never cancels, and
+		// RunContext has no other error path.
+		panic(err)
+	}
+	return res
+}
+
+// RunContext executes the simulation to completion or until ctx is
+// canceled, whichever comes first. Cancellation is checked once per
+// epoch — an epoch is microseconds to low milliseconds of host time, so
+// a canceled run returns promptly — and the check is one non-blocking
+// channel poll, preserving the steady loop's zero-allocation invariant.
+// On cancellation the partial simulation state is discarded and
+// ctx.Err() is returned; a context-free run is unaffected (results stay
+// byte-identical for any worker count, with or without a context).
+func (e *Engine) RunContext(ctx context.Context) (Result, error) {
 	epochCycles := e.cfg.EpochSeconds * e.machine.FreqHz
 	maxEpochs := int(e.cfg.MaxSimSeconds / e.cfg.EpochSeconds)
+	cancel := ctx.Done() // nil for context.Background(): no per-epoch poll at all
 	timedOut := true
 	epoch := 0
 	for ; epoch < maxEpochs; epoch++ {
+		if cancel != nil {
+			select {
+			case <-cancel:
+				return Result{}, ctx.Err()
+			default:
+			}
+		}
 		if e.runEpoch(epoch, epochCycles) {
 			timedOut = false
 			epoch++
@@ -501,7 +528,7 @@ func (e *Engine) Run() Result {
 	res.IBSSamplesTaken = taken
 	n4, n2, n1 := e.env.Space.FaultCounts()
 	res.FaultCounts = [3]uint64{n4, n2, n1}
-	return res
+	return res, nil
 }
 
 // snapshotEpoch refreshes the per-epoch read-only state every pricing

@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -39,6 +40,11 @@ func UnaffectedSet() []Spec {
 	return []Spec{BT(), DC(), EP(), FT(), IS(), MG(), SP(), WC(), WR(), Kmeans(), PCA()}
 }
 
+// ErrUnknownWorkload is the typed resolution failure of ByName, matched
+// with errors.Is by callers that must tell a bad benchmark name from an
+// engine failure (the serve layer answers it with HTTP 400).
+var ErrUnknownWorkload = errors.New("workloads: unknown benchmark")
+
 // ByName finds a spec by its paper name (e.g. "CG.D", "SSCA.20").
 func ByName(name string) (Spec, error) {
 	for _, s := range append(append(Suite(), Streamcluster()), Dynamic()...) {
@@ -46,7 +52,7 @@ func ByName(name string) (Spec, error) {
 			return s, nil
 		}
 	}
-	return Spec{}, fmt.Errorf("workloads: unknown benchmark %q", name)
+	return Spec{}, fmt.Errorf("%w %q", ErrUnknownWorkload, name)
 }
 
 // Names lists every available benchmark name in suite order.

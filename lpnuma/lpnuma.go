@@ -21,6 +21,8 @@
 package lpnuma
 
 import (
+	"context"
+
 	"repro/internal/experiments"
 	"repro/internal/policy"
 	"repro/internal/runcache"
@@ -81,6 +83,12 @@ func DefaultConfig() Config { return sim.DefaultConfig() }
 // Run executes one simulation.
 func Run(req Request) (Result, error) { return runner.Run(req) }
 
+// RunContext executes one simulation, aborting between epochs when ctx
+// is canceled.
+func RunContext(ctx context.Context, req Request) (Result, error) {
+	return runner.RunContext(ctx, req)
+}
+
 // RunAll executes many simulations with host parallelism, returning
 // results in request order.
 func RunAll(reqs []Request) ([]Result, error) { return runner.RunAll(reqs) }
@@ -131,10 +139,28 @@ type SweepStats = runcache.Stats
 // simulations concurrently (workers <= 0 selects the host's CPU count).
 func NewScheduler(workers int) *Scheduler { return runcache.New(workers) }
 
+// Store is the persistent crash-safe cell cache: a checksummed
+// append-log answering repeat simulations across processes. See
+// runcache.Store.
+type Store = runcache.Store
+
+// OpenStore opens or creates the persistent cell cache at path,
+// recovering every valid record and truncating any torn tail. Attach
+// it to a scheduler with Scheduler.SetStore.
+func OpenStore(path string) (*Store, error) { return runcache.OpenStore(path) }
+
 // RunExperimentWith regenerates one experiment through a shared
 // scheduler, reusing any cells earlier experiments already simulated.
 func RunExperimentWith(s *Scheduler, id string, cfg ExperimentConfig) (ExperimentResult, error) {
 	return experiments.ByIDWith(s, id, cfg)
+}
+
+// RunExperimentContext is RunExperimentWith with cancellation:
+// canceling ctx aborts the experiment's in-flight simulations and
+// returns the context's error; cells completed before the cancellation
+// stay cached.
+func RunExperimentContext(ctx context.Context, s *Scheduler, id string, cfg ExperimentConfig) (ExperimentResult, error) {
+	return experiments.ByIDContext(ctx, s, id, cfg)
 }
 
 // RunAllExperiments regenerates every experiment through one shared

@@ -1,0 +1,417 @@
+// Package e2e fault-injects the real lpnuma binary: signals mid-sweep,
+// kill -9, corrupted cache files, daemon shutdown under load. These are
+// the robustness claims the unit tests cannot make, because they need a
+// real process to die.
+//
+// TestMain builds the binary once; every test then runs it as a
+// subprocess against a private temp directory.
+package e2e
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/runcache"
+)
+
+var binPath string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "lpnuma-e2e-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	binPath = filepath.Join(dir, "lpnuma")
+	build := exec.Command("go", "build", "-o", binPath, "repro/cmd/lpnuma")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "build:", err)
+		os.Exit(1)
+	}
+	os.Exit(m.Run())
+}
+
+// runCmd runs the binary to completion, returning exit code and stderr.
+func runCmd(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(binPath, args...)
+	var errb bytes.Buffer
+	cmd.Stdout = io.Discard
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatal(err)
+	}
+	return code, errb.String()
+}
+
+// TestWarmCacheZeroSimulations: the second identical pass against an
+// on-disk cache performs zero simulations.
+func TestWarmCacheZeroSimulations(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "cache.log")
+	code, errOut := runCmd(t, "experiment", "fig1", "-mode", "analytic", "-scale", "0.05", "-cache", cache)
+	if code != 0 {
+		t.Fatalf("cold pass exited %d:\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "cache "+cache+": 0 cells") {
+		t.Fatalf("cold pass did not report an empty cache:\n%s", errOut)
+	}
+	code, errOut = runCmd(t, "experiment", "fig1", "-mode", "analytic", "-scale", "0.05", "-cache", cache)
+	if code != 0 {
+		t.Fatalf("warm pass exited %d:\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "pass complete: 0 simulations") {
+		t.Fatalf("warm pass re-simulated:\n%s", errOut)
+	}
+}
+
+// startSweep launches a verbose cached sweep and returns the command
+// plus a channel of its stderr lines.
+func startSweep(t *testing.T, cache string) (*exec.Cmd, <-chan string, *bytes.Buffer) {
+	t.Helper()
+	cmd := exec.Command(binPath, "all", "-mode", "analytic", "-scale", "0.3", "-v", "-cache", cache)
+	cmd.Stdout = io.Discard
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	lines := make(chan string, 1024)
+	var tail bytes.Buffer
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			tail.WriteString(sc.Text() + "\n")
+			select {
+			case lines <- sc.Text():
+			default:
+			}
+		}
+		close(lines)
+	}()
+	t.Cleanup(func() { cmd.Process.Kill(); wg.Wait() })
+	return cmd, lines, &tail
+}
+
+// TestSigtermLosesNoCompletedCells is the acceptance criterion: SIGTERM
+// mid-sweep, then verify every cell the pass reported complete is
+// recoverable from the on-disk cache.
+func TestSigtermLosesNoCompletedCells(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "cache.log")
+	cmd, lines, tail := startSweep(t, cache)
+	// Wait until the sweep has completed a few cells.
+	progress := regexp.MustCompile(`^  \[(\d+)/\d+\]`)
+	deadline := time.After(60 * time.Second)
+	seen := 0
+	for seen < 3 {
+		select {
+		case ln, ok := <-lines:
+			if !ok {
+				t.Fatalf("sweep exited before progress:\n%s", tail.String())
+			}
+			if progress.MatchString(ln) {
+				seen++
+			}
+		case <-deadline:
+			t.Fatalf("no progress within 60s:\n%s", tail.String())
+		}
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	for range lines {
+	} // drain the scanner
+	if err == nil {
+		t.Fatalf("interrupted sweep exited 0:\n%s", tail.String())
+	}
+	errOut := tail.String()
+	if !strings.Contains(errOut, "interrupted after") {
+		t.Fatalf("no interruption report:\n%s", errOut)
+	}
+	// Every "done" cell the process reported must be on disk.
+	var done []string
+	for _, ln := range strings.Split(errOut, "\n") {
+		if rest, ok := strings.CutPrefix(ln, "  done "); ok {
+			done = append(done, rest)
+		}
+	}
+	if len(done) == 0 {
+		t.Fatalf("interruption report named no completed cells:\n%s", errOut)
+	}
+	st, err := runcache.OpenStore(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if rs := st.Recovered(); rs.TruncatedBytes != 0 || rs.Reset {
+		t.Fatalf("cache damaged by graceful shutdown: %+v", rs)
+	}
+	onDisk := map[string]bool{}
+	for _, k := range st.Keys() {
+		onDisk[k.String()] = true
+	}
+	for _, cell := range done {
+		if !onDisk[cell] {
+			t.Errorf("cell %q reported complete but lost from the cache", cell)
+		}
+	}
+	if t.Failed() {
+		t.Logf("%d done cells, %d on disk", len(done), st.Len())
+	}
+}
+
+// TestKill9RecoversCleanly: a sweep killed with SIGKILL mid-run leaves
+// a log the next pass recovers and extends to a complete, correct run.
+func TestKill9RecoversCleanly(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "cache.log")
+	cmd, lines, tail := startSweep(t, cache)
+	progress := regexp.MustCompile(`^  \[(\d+)/\d+\]`)
+	deadline := time.After(60 * time.Second)
+	seen := 0
+	for seen < 3 {
+		select {
+		case ln, ok := <-lines:
+			if !ok {
+				t.Fatalf("sweep exited before progress:\n%s", tail.String())
+			}
+			if progress.MatchString(ln) {
+				seen++
+			}
+		case <-deadline:
+			t.Fatalf("no progress within 60s:\n%s", tail.String())
+		}
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+	for range lines {
+	}
+	// The next pass must recover whatever survived and finish the sweep.
+	code, errOut := runCmd(t, "all", "-mode", "analytic", "-scale", "0.3", "-cache", cache)
+	if code != 0 {
+		t.Fatalf("post-kill pass exited %d:\n%s", code, errOut)
+	}
+	reuse := regexp.MustCompile(`cache \S+: (\d+) cells`)
+	m := reuse.FindStringSubmatch(errOut)
+	if m == nil {
+		t.Fatalf("no cache recovery line:\n%s", errOut)
+	}
+	if m[1] == "0" {
+		t.Logf("kill -9 landed before any cell was appended (valid, but weak): %s", m[0])
+	}
+	// A third pass over the now-complete cache is pure reuse.
+	code, errOut = runCmd(t, "all", "-mode", "analytic", "-scale", "0.3", "-cache", cache)
+	if code != 0 || !strings.Contains(errOut, "pass complete: 0 simulations") {
+		t.Fatalf("cache incomplete after recovery pass (exit %d):\n%s", code, errOut)
+	}
+}
+
+// TestTornTailTruncated: garbage appended to a valid log (a torn final
+// write) is dropped on the next open without losing the valid prefix.
+func TestTornTailTruncated(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "cache.log")
+	code, errOut := runCmd(t, "experiment", "fig1", "-mode", "analytic", "-scale", "0.05", "-cache", cache)
+	if code != 0 {
+		t.Fatalf("cold pass exited %d:\n%s", code, errOut)
+	}
+	f, err := os.OpenFile(cache, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x17, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	code, errOut = runCmd(t, "experiment", "fig1", "-mode", "analytic", "-scale", "0.05", "-cache", cache)
+	if code != 0 {
+		t.Fatalf("post-tear pass exited %d:\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "torn tail") {
+		t.Fatalf("torn tail not reported:\n%s", errOut)
+	}
+	if !strings.Contains(errOut, "pass complete: 0 simulations") {
+		t.Fatalf("torn tail cost completed cells:\n%s", errOut)
+	}
+}
+
+// TestCorruptedCacheStartsFresh: a cache path holding a foreign file is
+// discarded and restarted, not trusted and not fatal.
+func TestCorruptedCacheStartsFresh(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "cache.log")
+	if err := os.WriteFile(cache, []byte("not a cache log at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, errOut := runCmd(t, "experiment", "fig1", "-mode", "analytic", "-scale", "0.05", "-cache", cache)
+	if code != 0 {
+		t.Fatalf("pass over corrupt cache exited %d:\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "starting fresh") {
+		t.Fatalf("corrupt cache not reported:\n%s", errOut)
+	}
+	// The restarted log works: the repeat pass is pure reuse.
+	code, errOut = runCmd(t, "experiment", "fig1", "-mode", "analytic", "-scale", "0.05", "-cache", cache)
+	if code != 0 || !strings.Contains(errOut, "pass complete: 0 simulations") {
+		t.Fatalf("restarted cache not reused (exit %d):\n%s", code, errOut)
+	}
+}
+
+// startServe launches the daemon on an ephemeral port and returns its
+// base URL once it is listening.
+func startServe(t *testing.T, extraArgs ...string) (*exec.Cmd, string, *bytes.Buffer) {
+	t.Helper()
+	args := append([]string{"serve", "-addr", "127.0.0.1:0"}, extraArgs...)
+	cmd := exec.Command(binPath, args...)
+	cmd.Stdout = io.Discard
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+	var tail bytes.Buffer
+	listening := regexp.MustCompile(`listening on ([^,\s]+)`)
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			tail.WriteString(sc.Text() + "\n")
+			if m := listening.FindStringSubmatch(sc.Text()); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return cmd, "http://" + addr, &tail
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon never listened:\n%s", tail.String())
+		return nil, "", nil
+	}
+}
+
+// TestServeSigtermDrains: the daemon under SIGTERM finishes cleanly
+// (exit 0) and reports its drain.
+func TestServeSigtermDrains(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "cache.log")
+	cmd, base, tail := startServe(t, "-cache", cache)
+	body := `{"machine":"A","workload":"EP.C","policy":"Linux4K","seed":1,"work_scale":0.02}`
+	resp, err := http.Post(base+"/v1/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run answered %d", resp.StatusCode)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exited dirty after SIGTERM: %v\n%s", err, tail.String())
+	}
+	time.Sleep(50 * time.Millisecond) // let the scanner drain
+	if !strings.Contains(tail.String(), "drained cleanly") {
+		t.Fatalf("no drain report:\n%s", tail.String())
+	}
+	// The simulated cell survived into the cache log.
+	st, err := runcache.OpenStore(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Len() != 1 {
+		t.Fatalf("daemon cache holds %d cells, want 1", st.Len())
+	}
+}
+
+// TestServeSlowClientDoesNotWedge: a client that connects and never
+// completes its request must not stop the daemon from serving others.
+func TestServeSlowClientDoesNotWedge(t *testing.T) {
+	_, base, _ := startServe(t)
+	// A stalled connection: headers promise a body that never arrives.
+	stalled, err := net.Dial("tcp", strings.TrimPrefix(base, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalled.Close()
+	fmt.Fprintf(stalled, "POST /v1/run HTTP/1.1\r\nHost: x\r\nContent-Type: application/json\r\nContent-Length: 1000\r\n\r\n{")
+	// Healthy clients keep being served meanwhile.
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(base + "/v1/healthz")
+		if err != nil {
+			t.Fatalf("daemon wedged by stalled client: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz = %d with stalled client", resp.StatusCode)
+		}
+	}
+}
+
+// TestServebenchSmoke: the load harness runs, reports schema 4 /
+// suite serve, thousands of cached requests per second, and no errors.
+func TestServebenchSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	code, errOut := runCmd(t, "servebench", "-duration", "2s", "-clients", "4", "-o", out)
+	if code != 0 {
+		t.Fatalf("servebench exited %d:\n%s", code, errOut)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		SchemaVersion int     `json:"schema_version"`
+		Suite         string  `json:"suite"`
+		Requests      uint64  `json:"requests"`
+		Errors        uint64  `json:"errors"`
+		RPS           float64 `json:"requests_per_second"`
+		DrainSeconds  float64 `json:"drain_seconds"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != 4 || rep.Suite != "serve" {
+		t.Fatalf("report schema wrong: %+v", rep)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d load errors:\n%s", rep.Errors, errOut)
+	}
+	if rep.RPS < 1000 {
+		t.Fatalf("cached throughput %0.f req/s, want >= 1000 (report %+v)", rep.RPS, rep)
+	}
+	if rep.DrainSeconds > 10 {
+		t.Fatalf("drain took %.3fs", rep.DrainSeconds)
+	}
+}
