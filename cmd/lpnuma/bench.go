@@ -26,7 +26,12 @@ import (
 //	4 — adds suite ("sweep" here, "serve" in BENCH_serve.json): reports
 //	    from different benchmark harnesses share the version discipline
 //	    but measure different things and are never comparable
-const benchSchemaVersion = 4
+//	5 — BENCH_lpnuma.json becomes a JSON array of reports: the sweep
+//	    report plus an analytic-incremental report (suite
+//	    "analytic-incremental", with baseline_wall_seconds and speedup
+//	    for the incremental engine of DESIGN.md §4.10). BENCH_serve.json
+//	    stays a single object at this same version.
+const benchSchemaVersion = 5
 
 // benchReport is the machine-readable result of `lpnuma bench`, written
 // as JSON so successive PRs accumulate a perf trajectory
@@ -56,7 +61,15 @@ type benchReport struct {
 	Runs  int `json:"runs"`
 	// CellsPerSecond is Runs/WallSeconds, the headline throughput number.
 	CellsPerSecond float64           `json:"cells_per_second"`
-	Experiments    []benchExperiment `json:"experiments"`
+	Experiments    []benchExperiment `json:"experiments,omitempty"`
+	// The analytic-incremental suite's headline comparison — one steady
+	// pricing epoch, full recompute vs the quiescent fast path:
+	// BaselineWallSeconds is the full-recompute seconds per epoch and
+	// Speedup the full/quiescent ratio. The per-epoch and whole-run
+	// timings appear as experiment rows. Sweep and serve reports omit
+	// both fields.
+	BaselineWallSeconds float64 `json:"baseline_wall_seconds,omitempty"`
+	Speedup             float64 `json:"speedup,omitempty"`
 }
 
 // benchExperiment is one experiment's share of the pass.
@@ -65,6 +78,97 @@ type benchExperiment struct {
 	Cells       int     `json:"cells"`
 	Runs        int     `json:"runs"`
 	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// incrementalBench measures the incremental analytic engine (DESIGN.md
+// §4.10) on one fixed cell: CG.D on machine B under PTBaseline (a
+// hook-free pipeline, so quiescence can engage) at full scale. The
+// headline — BaselineWallSeconds and Speedup — is the steady pricing
+// epoch itself, full recompute vs the quiescent fast path, because
+// whole runs are dominated by the full-fidelity allocation phase and
+// the shared merge stage that both variants execute identically. The
+// whole-run wall clocks ride along as experiment rows (best-of-reps),
+// and the two whole runs must be byte-identical — any speedup number
+// is meaningless if the fast path diverged.
+func incrementalBench(seed uint64) (benchReport, error) {
+	const (
+		runReps   = 3   // whole-run best-of
+		epochReps = 200 // per-epoch timing loop
+	)
+	start := time.Now()
+	epochCfg := lpnuma.DefaultConfig()
+	epochCfg.WorkScale = 1.0
+	epochCfg.Seed = seed
+	eb, err := lpnuma.BenchAnalyticEpoch("B", "CG.D", "PTBaseline", epochCfg, epochReps)
+	if err != nil {
+		return benchReport{}, err
+	}
+	time1 := func(full bool) (float64, lpnuma.Result, error) {
+		cfg := lpnuma.DefaultConfig()
+		cfg.WorkScale = 1.0
+		cfg.Mode = lpnuma.ModeAnalytic
+		cfg.FullRecompute = full
+		best := 0.0
+		var res lpnuma.Result
+		for i := 0; i < runReps; i++ {
+			runStart := time.Now()
+			r, err := lpnuma.Run(lpnuma.Request{
+				Machine: "B", Workload: "CG.D", Policy: "PTBaseline", Seed: seed, Cfg: &cfg,
+			})
+			if err != nil {
+				return 0, res, err
+			}
+			if wall := time.Since(runStart).Seconds(); i == 0 || wall < best {
+				best = wall
+			}
+			res = r
+		}
+		return best, res, nil
+	}
+	baseWall, baseRes, err := time1(true)
+	if err != nil {
+		return benchReport{}, err
+	}
+	incWall, incRes, err := time1(false)
+	if err != nil {
+		return benchReport{}, err
+	}
+	if incRes != baseRes {
+		return benchReport{}, fmt.Errorf("incremental bench: result diverged from full recompute")
+	}
+	rep := benchReport{
+		SchemaVersion:       benchSchemaVersion,
+		Suite:               "analytic-incremental",
+		Bench:               "B/CG.D/PTBaseline",
+		Scale:               1.0,
+		Mode:                lpnuma.ModeAnalytic.String(),
+		Seed:                seed,
+		Jobs:                1,
+		GOMAXPROCS:          runtime.GOMAXPROCS(0),
+		NumCPU:              runtime.NumCPU(),
+		GoVersion:           runtime.Version(),
+		GOOS:                runtime.GOOS,
+		GOARCH:              runtime.GOARCH,
+		Workloads:           1,
+		Policies:            1,
+		WallSeconds:         time.Since(start).Seconds(),
+		Cells:               2 * runReps,
+		Runs:                2 * runReps,
+		BaselineWallSeconds: eb.FullSeconds,
+	}
+	if rep.WallSeconds > 0 {
+		rep.CellsPerSecond = float64(rep.Runs) / rep.WallSeconds
+	}
+	if eb.QuiescentSeconds > 0 {
+		rep.Speedup = eb.FullSeconds / eb.QuiescentSeconds
+	}
+	rep.Experiments = []benchExperiment{
+		{ID: "epoch-full-recompute", Runs: epochReps, WallSeconds: eb.FullSeconds},
+		{ID: "epoch-quiescent", Runs: epochReps, WallSeconds: eb.QuiescentSeconds},
+		{ID: "run-full-recompute", Cells: runReps, Runs: runReps, WallSeconds: baseWall},
+		{ID: "run-incremental", Cells: runReps, Runs: runReps, WallSeconds: incWall},
+	}
+	return rep, nil
 }
 
 // runBench executes the full experiment sweep as a timed benchmark and
@@ -154,7 +258,14 @@ func runBench(args []string, stdout, stderr io.Writer) (retErr error) {
 		rep.CellsPerSecond = float64(rep.Runs) / rep.WallSeconds
 	}
 
-	enc, err := json.MarshalIndent(rep, "", "  ")
+	incRep, err := incrementalBench(*seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "bench analytic-incremental: %s epoch %.1fµs quiescent vs %.1fµs full recompute (%.1fx)\n",
+		incRep.Bench, incRep.Experiments[1].WallSeconds*1e6, incRep.BaselineWallSeconds*1e6, incRep.Speedup)
+
+	enc, err := json.MarshalIndent([]benchReport{rep, incRep}, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -146,15 +146,25 @@ func TestBenchReportSchema(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var rep benchReport
-	if err := json.Unmarshal(raw, &rep); err != nil {
+	var reps []benchReport
+	if err := json.Unmarshal(raw, &reps); err != nil {
 		t.Fatal(err)
 	}
-	if rep.SchemaVersion != benchSchemaVersion {
-		t.Fatalf("schema_version = %d, want %d", rep.SchemaVersion, benchSchemaVersion)
+	if len(reps) != 2 {
+		t.Fatalf("bench wrote %d reports, want 2 (sweep + analytic-incremental)", len(reps))
+	}
+	rep, inc := reps[0], reps[1]
+	if rep.SchemaVersion != benchSchemaVersion || inc.SchemaVersion != benchSchemaVersion {
+		t.Fatalf("schema_version = %d/%d, want %d", rep.SchemaVersion, inc.SchemaVersion, benchSchemaVersion)
 	}
 	if rep.Suite != "sweep" {
 		t.Fatalf("suite = %q, want sweep", rep.Suite)
+	}
+	if inc.Suite != "analytic-incremental" {
+		t.Fatalf("suite = %q, want analytic-incremental", inc.Suite)
+	}
+	if inc.Speedup <= 0 || inc.BaselineWallSeconds <= 0 {
+		t.Fatalf("incremental report missing timings: %+v", inc)
 	}
 	if rep.GOOS == "" || rep.GOARCH == "" || rep.GoVersion == "" {
 		t.Fatalf("host metadata missing: %+v", rep)

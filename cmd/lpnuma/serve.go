@@ -74,7 +74,7 @@ func runServe(args []string, stderr io.Writer) error {
 }
 
 // serveBenchReport is the machine-readable result of `lpnuma
-// servebench` (bench schema version 4, suite "serve"): cached
+// servebench` (bench schema version 5, suite "serve"): cached
 // request/response throughput and tail latency of the daemon under
 // concurrent load, plus how long the post-load drain took.
 type serveBenchReport struct {

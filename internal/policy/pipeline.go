@@ -1,6 +1,8 @@
 package policy
 
 import (
+	"math"
+
 	"repro/internal/carrefour"
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -97,6 +99,27 @@ func (p *Pipeline) Tick(env *sim.Env, now float64) float64 {
 		overhead += h.fn(env, now)
 	}
 	return overhead
+}
+
+// NextDaemonDue implements sim.DaemonScheduler: a pipeline performs
+// daemon work only inside hooks, so the next due time is the earliest
+// hook deadline. The due test reuses Tick's exact firing gate
+// (now-last >= period) so the engine's quiescence decision and the
+// hook's firing decision can never disagree, even at floating-point
+// boundary cases. Every-epoch hooks (period <= 0, e.g. khugepaged) are
+// always due, so pipelines carrying one never report a quiet window.
+func (p *Pipeline) NextDaemonDue(now float64) float64 {
+	next := math.Inf(1)
+	for i := range p.hooks {
+		h := &p.hooks[i]
+		if h.period <= 0 || now-h.last >= h.period {
+			return now
+		}
+		if due := h.last + h.period; due < next {
+			next = due
+		}
+	}
+	return next
 }
 
 // View returns the shared telemetry view for the tick at now, gathering

@@ -19,6 +19,11 @@ import (
 var excludedKeyFields = map[string]bool{
 	"Workers": true,
 	"Pool":    true,
+	// FullRecompute disables the incremental engine's memoization but is
+	// byte-identity-equivalent by contract (DESIGN.md §4.10, enforced by
+	// TestIncrementalMatchesFullRecompute), so like the parallelism knobs
+	// it must not split the cache.
+	"FullRecompute": true,
 }
 
 // TestKeyCoversEveryConfigField walks every leaf field of sim.Config by

@@ -65,9 +65,10 @@ func KeyOf(req runner.Request) Key {
 // hashConfig fingerprints an engine configuration field by field (FNV-1a
 // over an explicit serialization, so the hash is stable across processes
 // and Go versions, unlike hashing the in-memory representation).
-// Config.Workers and Config.Pool are deliberately absent: the engine's
-// results are byte-identical for any worker count (enforced by test), so
-// cells differing only in parallelism must share one cache entry. Every
+// Config.Workers, Config.Pool and Config.FullRecompute are deliberately
+// absent: the engine's results are byte-identical for any worker count
+// and with memoization disabled (both enforced by test), so cells
+// differing only in those knobs must share one cache entry. Every
 // other field — including Mode: a cached sampled result must never
 // answer an analytic cell — is covered, and
 // TestKeyCoversEveryConfigField enforces exhaustiveness by reflection,

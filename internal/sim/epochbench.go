@@ -1,0 +1,81 @@
+package sim
+
+// Epoch-level benchmark harness behind `lpnuma bench`'s
+// analytic-incremental suite. The committed BENCH_lpnuma.json tracks
+// the per-epoch cost of the analytic pricing stage across commits, and
+// that number lives inside the engine (a steady epoch, not a whole
+// run: whole runs are dominated by the full-fidelity allocation phase
+// and the shared merge stage, which both modes execute identically).
+// The harness reuses the exact pricing entry points the engine's own
+// epoch loop calls, so what it times is what runs.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/topo"
+	"repro/internal/workloads"
+)
+
+// EpochBenchResult reports seconds per steady-state pricing epoch for
+// the full-recompute analytic engine (the §4.7 baseline: every
+// expectation term rebuilt) and for the §4.10 quiescent fast path
+// (warm memos, nothing changed, telemetry deferred).
+type EpochBenchResult struct {
+	FullSeconds      float64
+	QuiescentSeconds float64
+	// Threads is how many simulated threads each epoch priced.
+	Threads int
+}
+
+// BenchAnalyticEpoch advances a fresh engine past its allocation
+// barrier, then times `reps` repricings of one steady-state epoch in
+// both variants. The engine is discarded afterwards; nothing about the
+// run's results is observable, so the harness cannot perturb any
+// simulation contract.
+func BenchAnalyticEpoch(machine *topo.Machine, spec workloads.Spec, os OS, cfg Config, reps int) (EpochBenchResult, error) {
+	cfg.Mode = ModeAnalytic
+	cfg.FullRecompute = false
+	e, err := New(machine, spec, os, cfg)
+	if err != nil {
+		return EpochBenchResult{}, err
+	}
+	epochCycles := e.cfg.EpochSeconds * e.machine.FreqHz
+	for epoch := 0; epoch < 10000 && !e.wl.AllocAllDone(); epoch++ {
+		e.runEpoch(epoch, epochCycles)
+	}
+	if !e.wl.AllocAllDone() {
+		return EpochBenchResult{}, fmt.Errorf("sim: allocation phase did not finish")
+	}
+	e.env.Space.BeginEpoch()
+	e.snapshotEpoch()
+	e.refreshNodeDists()
+	assess := e.tlbModel.Assess(e.wl.TLBSegments(0, e.counts))
+
+	price := func(full, quiet bool) {
+		e.cfg.FullRecompute = full
+		e.epochQuiet = quiet
+		for t := 0; t < e.threads; t++ {
+			e.budgets[t] = epochCycles
+			e.progress[t] = 0
+			e.finishTime[t] = -1
+			e.stolen[t] = 0
+			e.ts[t].ran = true
+			e.priceAnalytic(t, 0, epochCycles, assess, false)
+		}
+		e.cfg.FullRecompute = false
+		e.epochQuiet = false
+	}
+	timed := func(full, quiet bool) float64 {
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			price(full, quiet)
+		}
+		return time.Since(start).Seconds() / float64(reps)
+	}
+	price(false, false) // warm scratch capacity and memos
+	res := EpochBenchResult{Threads: e.threads}
+	res.FullSeconds = timed(true, false)
+	res.QuiescentSeconds = timed(false, true)
+	return res, nil
+}

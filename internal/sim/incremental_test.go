@@ -1,0 +1,149 @@
+package sim_test
+
+// Byte-identity of the incremental analytic engine (DESIGN.md §4.10).
+// The geometry/contention memo split and the quiescent fast path are
+// pure evaluation-order optimizations: Config.FullRecompute forces every
+// memo to rebuild every epoch while sharing the quiescence decision, so
+// for any cell and any worker count the incremental engine must produce
+// a sim.Result EXACTLY equal (Result is comparable; compared with ==) to
+// the full-recompute run. Tolerances would hide real staleness bugs —
+// a missed Gen bump shows up as a byte difference here long before it
+// moves a paper figure.
+
+import (
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/workloads"
+)
+
+// incCell is one cell of the incremental identity matrix.
+type incCell struct {
+	machine, pol string
+	workload     string
+	spec         *workloads.Spec // overrides ByName (event-timeline cells)
+	workScale    float64
+	// wantQuiet asserts the run exercises the quiescent fast path, so
+	// the identity check on that cell is non-vacuous for deferral.
+	wantQuiet bool
+}
+
+// incrementalMatrix covers the cache's invalidation surfaces: a
+// hook-free policy (quiet-capable pipeline), a daemon-heavy policy
+// (Carrefour migrations bump Region.Gen mid-run), a giant-page policy
+// on the 64-thread machine, a full-scale cell where quiescence provably
+// engages, and two event timelines (growth/churn and shift/free) where
+// phase changes and unmaps must invalidate the memos.
+func incrementalMatrix() []incCell {
+	churn, free := churnTimeline(), shiftFreeTimeline()
+	return []incCell{
+		{machine: "A", pol: "Linux4K", workload: "UA.B", workScale: 0.05},
+		{machine: "A", pol: "CarrefourLP", workload: "UA.B", workScale: 0.05},
+		{machine: "B", pol: "HugeTLB1G", workload: "CG.D", workScale: 0.05},
+		// Full scale: long steady stretches let the latency EWMA reach
+		// its float fixed point, so quiescent epochs actually occur and
+		// the deferred census/thinning path is exercised end to end.
+		{machine: "B", pol: "PTBaseline", workload: "CG.D", workScale: 1.0, wantQuiet: true},
+		{machine: "A", pol: "THP", spec: &churn, workload: churn.Name, workScale: 0.05},
+		{machine: "A", pol: "TridentLP", spec: &free, workload: free.Name, workScale: 0.05},
+	}
+}
+
+// runIncremental runs one cell in ModeAnalytic and returns the result
+// plus how many quiescent epochs the engine saw.
+func runIncremental(t *testing.T, c incCell, workers int, fullRecompute bool) (sim.Result, int) {
+	t.Helper()
+	machine := topo.MachineA()
+	if c.machine == "B" {
+		machine = topo.MachineB()
+	}
+	var spec workloads.Spec
+	if c.spec != nil {
+		spec = *c.spec
+	} else {
+		var err error
+		spec, err = workloads.ByName(c.workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	pol, err := policy.ByName(c.pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.WorkScale = c.workScale
+	cfg.Mode = sim.ModeAnalytic
+	cfg.Workers = workers
+	cfg.FullRecompute = fullRecompute
+	eng, err := sim.New(machine, spec, pol, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Run()
+	if res.TimedOut {
+		t.Fatalf("%s/%s/%s timed out", c.machine, c.workload, c.pol)
+	}
+	return res, eng.QuietEpochs()
+}
+
+// TestIncrementalMatchesFullRecompute is the tentpole identity check:
+// for every cell, the incremental engine at 1, 2 and 8 workers equals
+// the single-worker full-recompute reference exactly, and the
+// full-recompute engine itself is worker-count invariant.
+func TestIncrementalMatchesFullRecompute(t *testing.T) {
+	for _, c := range incrementalMatrix() {
+		c := c
+		t.Run(c.machine+"/"+c.workload+"/"+c.pol, func(t *testing.T) {
+			t.Parallel()
+			ref, _ := runIncremental(t, c, 1, true)
+			quietSeen := 0
+			for _, workers := range []int{1, 2, 8} {
+				res, quiet := runIncremental(t, c, workers, false)
+				if res != ref {
+					t.Errorf("incremental result differs from full recompute at %d workers:\n inc:  %+v\n full: %+v",
+						workers, res, ref)
+				}
+				if quiet > quietSeen {
+					quietSeen = quiet
+				}
+			}
+			if res8, _ := runIncremental(t, c, 8, true); res8 != ref {
+				t.Errorf("full-recompute result differs across worker counts:\n 8w: %+v\n 1w: %+v", res8, ref)
+			}
+			if c.wantQuiet && quietSeen == 0 {
+				t.Errorf("cell expected to exercise the quiescent path saw 0 quiet epochs")
+			}
+		})
+	}
+}
+
+// TestIncrementalCacheInvalidation drives the memo invalidation surfaces
+// directly through Spec.Events timelines: growth, churn remaps, hot-set
+// shifts and shrink/free unmaps all rewrite weights, phases or mappings
+// mid-run, and a stale geometry or contention memo would surface as a
+// byte difference against the full-recompute reference. The timelines
+// must actually fire (HasEvents) so the test cannot rot into a static
+// rerun of the identity check.
+func TestIncrementalCacheInvalidation(t *testing.T) {
+	churn, free := churnTimeline(), shiftFreeTimeline()
+	for _, spec := range []workloads.Spec{churn, free} {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			if len(spec.Events) == 0 {
+				t.Fatalf("timeline %s declares no events; the test would be vacuous", spec.Name)
+			}
+			for _, pol := range []string{"Linux4K", "CarrefourLP"} {
+				c := incCell{machine: "A", pol: pol, workload: spec.Name, spec: &spec, workScale: 0.05}
+				ref, _ := runIncremental(t, c, 1, true)
+				inc, _ := runIncremental(t, c, 4, false)
+				if inc != ref {
+					t.Errorf("%s: incremental result diverged across events:\n inc:  %+v\n full: %+v", pol, inc, ref)
+				}
+			}
+		})
+	}
+}

@@ -155,6 +155,57 @@ func BenchmarkAnalyticEpoch(b *testing.B) {
 	}
 }
 
+// priceOneEpochQuiescent prices one epoch through the quiescent fast
+// path (DESIGN.md §4.10): the engine is told every pricing input matched
+// the previous epoch, so per-thread work reduces to two memo-key
+// compares, O(nodes) aggregate copies, deferral bookkeeping and the
+// settle arithmetic. Callers must warm the memos first (one
+// priceOneEpochAnalytic pass) so the caches are populated.
+func priceOneEpochQuiescent(e *Engine, assess tlb.Assessment, epochCycles float64) {
+	e.refreshNodeDists()
+	e.epochQuiet = true
+	for t := 0; t < e.threads; t++ {
+		e.budgets[t] = epochCycles
+		e.progress[t] = 0
+		e.finishTime[t] = -1
+		e.stolen[t] = 0
+		e.ts[t].ran = true
+		e.priceAnalytic(t, 0, epochCycles, assess, false)
+	}
+	e.epochQuiet = false
+}
+
+// TestAnalyticQuiescentEpochZeroAlloc pins the quiescent-epoch
+// invariant: once memos are warm, an epoch where nothing changed prices
+// all 64 threads of machine B with no heap allocation — census draws
+// and IBS thinning are deferred into counters, not buffers.
+func TestAnalyticQuiescentEpochZeroAlloc(t *testing.T) {
+	eng := analyticEngine(t)
+	assess, epochCycles := primeSteady(t, eng)
+	priceOneEpochAnalytic(eng, assess, epochCycles) // warm scratch and memos
+	allocs := testing.AllocsPerRun(10, func() {
+		priceOneEpochQuiescent(eng, assess, epochCycles)
+	})
+	if allocs != 0 {
+		t.Fatalf("quiescent analytic pricing allocates %.1f times per epoch, want 0", allocs)
+	}
+}
+
+// BenchmarkAnalyticEpochQuiescent measures the quiescent fast path
+// against BenchmarkAnalyticEpoch: the same 64-thread machine-B epoch
+// when the incremental engine proves nothing changed. The ratio between
+// the two is the steady-state speedup of DESIGN.md §4.10 (target ≥5x).
+func BenchmarkAnalyticEpochQuiescent(b *testing.B) {
+	eng := analyticEngine(b)
+	assess, epochCycles := primeSteady(b, eng)
+	priceOneEpochAnalytic(eng, assess, epochCycles) // warm scratch and memos
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		priceOneEpochQuiescent(eng, assess, epochCycles)
+	}
+}
+
 // BenchmarkIBSThinning isolates the deterministic sample-thinning stage:
 // expected-count emission with real page resolution for all 64 threads.
 func BenchmarkIBSThinning(b *testing.B) {

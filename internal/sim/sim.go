@@ -81,6 +81,18 @@ type Config struct {
 	// IBS configures the hardware sampler.
 	IBS ibs.Config
 
+	// FullRecompute is a debug switch for the incremental analytic
+	// engine (DESIGN.md §4.10): it forces every per-thread geometry and
+	// contention cache to rebuild each epoch instead of reusing entries
+	// keyed on vm.Region.Gen and the contention generation. Quiescence
+	// detection and telemetry deferral are decided from the same inputs
+	// either way, so results are byte-identical with the switch on or
+	// off — that is the incremental engine's correctness contract,
+	// enforced by TestIncrementalMatchesFullRecompute — and, like
+	// Workers, the field is excluded from runcache's content address.
+	// ModeSampled ignores it.
+	FullRecompute bool
+
 	// Workers caps the intra-run worker count of the parallel pricing
 	// stage: 0 selects the host parallelism (or defers to Pool when one
 	// is attached), 1 forces serial pricing. Results are byte-identical
@@ -121,6 +133,20 @@ type OS interface {
 	// daemons at their own intervals and return overhead cycles, which
 	// the engine steals from application budgets in the next epoch.
 	Tick(env *Env, now float64) float64
+}
+
+// DaemonScheduler is an optional OS extension consumed by the analytic
+// engine's quiescence detection (DESIGN.md §4.10). NextDaemonDue
+// returns the earliest simulated time (seconds) at which a Tick call
+// may perform daemon work — consume telemetry, mutate mappings, or
+// charge overhead cycles; a Tick invoked strictly before that time
+// must be a pure no-op. Implementations must evaluate "due" with
+// exactly the comparison their Tick uses to gate work, so the engine's
+// deferral decision and the policy's firing decision never disagree.
+// Policies that do not implement the interface are treated as always
+// due, which disables quiescent epochs but changes nothing else.
+type DaemonScheduler interface {
+	NextDaemonDue(now float64) float64
 }
 
 // Env is the hardware/OS context handed to policies.
@@ -306,6 +332,16 @@ type threadScratch struct {
 	acctLog    []accessRec // unmapped-chunk accounting to replay after faults
 	pendFaults []pendingFault
 	ibsCarry   []float64 // per-region fractional thinned samples (ModeAnalytic)
+	// geom is the thread's incremental pricing cache (DESIGN.md §4.10,
+	// ModeAnalytic only): geometry aggregates keyed on the geometry
+	// generation and the applied contention outputs keyed on the
+	// contention generation.
+	geom *threadGeom
+	// censusDue counts ground-truth census draws deferred by quiescent
+	// epochs, materialized on the next non-quiescent epoch (or at thread
+	// finish). Bounded: the census is a freshness mechanism, so the
+	// backlog saturates at censusBacklogEpochs epochs' worth.
+	censusDue int
 
 	// pricing outputs consumed by the merge stage
 	scale        float64
@@ -368,6 +404,34 @@ type Engine struct {
 	aDist    [][]float64
 	aDistGen []uint64
 
+	// Incremental pricing state (DESIGN.md §4.10, ModeAnalytic only).
+	// geomGen counts observable changes to the inputs of the per-thread
+	// geometry term: any region's mapping generation, the region count,
+	// or the phase table (events rewrite weights without touching any
+	// mapping). contGen additionally counts changes to the contention
+	// inputs applied on top — the lagged latency matrices and the
+	// per-region churn cost. Per-thread caches compare against these
+	// to skip rebuilds; refreshContention compares the current epoch's
+	// inputs against the prev* copies to advance contGen.
+	geomGen     uint64
+	contGen     uint64
+	lastGeomGen uint64
+	snapGen     []uint64 // per-region Gen at the last snapshot scan
+	numPhases   int      // phase-table length at the last snapshot scan
+	assessValid bool
+	assessCache tlb.Assessment
+	prevLat     []float64
+	prevFab     []float64
+	prevChurn   []float64
+	churnRIs    []int32 // regions with ChurnPer1K > 0, in index order
+	// epochQuiet marks the current epoch as quiescent: no geometry or
+	// contention input moved, no event fired, no allocation ran, and no
+	// policy daemon is due at this epoch's tick — so pricing reuses the
+	// cached aggregates wholesale and defers census draws and IBS
+	// thinning into censusDue/ibsCarry. quietEpochs counts them.
+	epochQuiet  bool
+	quietEpochs int
+
 	// Reusable epoch scratch.
 	budgets     []float64
 	ts          []threadScratch
@@ -428,9 +492,16 @@ func New(m *topo.Machine, spec workloads.Spec, policy OS, cfg Config) (*Engine, 
 	if cfg.Mode == ModeAnalytic {
 		e.aDist = make([][]float64, len(wl.Regions))
 		e.aDistGen = make([]uint64, len(wl.Regions))
+		e.snapGen = make([]uint64, len(wl.Regions))
 		for ri := range e.aDist {
 			e.aDist[ri] = make([]float64, e.threads*e.nodes)
 			e.aDistGen[ri] = ^uint64(0) // force the first refresh
+			e.snapGen[ri] = ^uint64(0)
+		}
+		for ri, br := range wl.Regions {
+			if br.Spec.ChurnPer1K > 0 {
+				e.churnRIs = append(e.churnRIs, int32(ri))
+			}
 		}
 		for t := range e.ts {
 			e.ts[t].ibsCarry = make([]float64, len(wl.Regions))
@@ -444,11 +515,37 @@ func New(m *topo.Machine, spec workloads.Spec, policy OS, cfg Config) (*Engine, 
 			e.ts[t].walkCnt = make([]float64, e.nodes)
 		}
 	}
+	if cfg.Mode == ModeAnalytic {
+		// The per-thread incremental caches; sized after Setup so the
+		// page-table aggregates exist exactly when PT pricing is on.
+		for t := range e.ts {
+			g := &threadGeom{
+				key:      invalidMemoKey,
+				appKey:   invalidMemoKey,
+				homeAgg:  make([]float64, e.nodes),
+				homeCnt:  make([]float64, e.nodes),
+				thinRate: make([]float64, len(wl.Regions)),
+				churnW:   make([]float64, len(e.churnRIs)),
+			}
+			if e.ptHome != nil {
+				g.wPTHome = make([]float64, e.nodes)
+				g.walkCnt = make([]float64, e.nodes)
+			}
+			e.ts[t].geom = g
+		}
+	}
 	return e, nil
 }
 
 // Env exposes the engine's environment (examples and tests use it).
 func (e *Engine) Env() *Env { return e.env }
+
+// QuietEpochs returns how many epochs the incremental analytic engine
+// priced as quiescent — entirely from cached aggregates, with census
+// and IBS thinning deferred (DESIGN.md §4.10). Always zero in
+// ModeSampled and under policies that do not implement DaemonScheduler.
+// Diagnostics and tests use it to confirm the fast path engaged.
+func (e *Engine) QuietEpochs() int { return e.quietEpochs }
 
 // Workload exposes the built workload instance.
 func (e *Engine) Workload() *workloads.Instance { return e.wl }
@@ -534,13 +631,43 @@ func (e *Engine) RunContext(ctx context.Context) (Result, error) {
 // snapshotEpoch refreshes the per-epoch read-only state every pricing
 // worker shares: page census, cache profiles, per-region churn cost, and
 // the flat DRAM latency table (all lagged values, constant until the
-// next EndEpoch).
+// next EndEpoch). In ModeAnalytic the per-region census and cache
+// profile are functions of the mapping alone, so they are recomputed
+// only for regions whose vm generation moved since the last scan; a
+// moved region (or a changed phase table) advances the geometry
+// generation and invalidates the cached TLB assessment.
 func (e *Engine) snapshotEpoch() {
+	incr := e.snapGen != nil // ModeAnalytic
+	moved := false
 	for ri, br := range e.wl.Regions {
-		n4, n2, n1 := br.VM.MappedPages()
-		e.counts[ri] = workloads.PageCounts{N4K: n4, N2M: n2, N1G: n1}
-		e.profiles[ri] = e.wl.CacheProfile(ri, e.hier)
+		stale := true
+		if incr {
+			if g := br.VM.Gen(); g != e.snapGen[ri] {
+				e.snapGen[ri] = g
+				moved = true
+			} else if !e.cfg.FullRecompute {
+				stale = false
+			}
+		}
+		if stale {
+			n4, n2, n1 := br.VM.MappedPages()
+			e.counts[ri] = workloads.PageCounts{N4K: n4, N2M: n2, N1G: n1}
+			e.profiles[ri] = e.wl.CacheProfile(ri, e.hier)
+		}
 		e.churnPer[ri] = e.churnCostPerAccess(br)
+	}
+	if incr {
+		// Events rewrite region weights and extend the phase table
+		// without touching any mapping; the phase-table length is the
+		// cheap proxy that catches them.
+		if n := e.wl.NumPhases(); n != e.numPhases {
+			e.numPhases = n
+			moved = true
+		}
+		if moved {
+			e.geomGen++
+			e.assessValid = false
+		}
 	}
 	e.env.Phys.FillLatencies(e.memLat)
 	e.env.Fabric.FillLatencyMatrix(e.lat)
@@ -574,11 +701,80 @@ func (e *Engine) snapshotEpoch() {
 // allocation rounds so the first steady epoch prices the post-barrier
 // placement, exactly like the sampled loop's page-table lookups.
 func (e *Engine) refreshNodeDists() {
+	moved := false
 	for ri, br := range e.wl.Regions {
 		if g := br.VM.Gen(); g != e.aDistGen[ri] {
 			e.wl.FillNodeDists(ri, e.nodes, e.aDist[ri])
 			e.aDistGen[ri] = g
+			moved = true
 		}
+	}
+	if moved {
+		// This scan runs after the epoch's allocation rounds, so it
+		// catches mutations the pre-alloc snapshot scan could not see.
+		e.geomGen++
+	}
+}
+
+// cmpCopy copies src into *dst and reports whether they were already
+// equal. It is the change detector behind contention invalidation: the
+// copy happens unconditionally so *dst always holds the previous
+// epoch's inputs, and it allocates only when src grew (region events).
+func cmpCopy(dst *[]float64, src []float64) bool {
+	if len(*dst) != len(src) {
+		*dst = append((*dst)[:0], src...)
+		return false
+	}
+	d := *dst
+	eq := true
+	for i, v := range src {
+		if d[i] != v {
+			eq = false
+			d[i] = v
+		}
+	}
+	return eq
+}
+
+// refreshContention advances the contention generation when any input
+// of the contention application moved since the previous priced epoch —
+// the geometry generation, the combined controller+fabric latency
+// table, the fabric-only walk table, or the per-region churn cost — and
+// decides epoch quiescence: with no input moved, no event fired, no
+// allocation run, and no policy daemon due at this epoch's tick, every
+// thread's cached aggregates are exact, so pricing reuses them
+// wholesale and defers the census and IBS thinning (DESIGN.md §4.10).
+// The decision reads only serial engine state and never the cached
+// values themselves, so it is identical under FullRecompute — which is
+// what makes forced-recompute runs byte-identical.
+func (e *Engine) refreshContention(eventsFired, allocsRan bool, epochCycles float64) {
+	dirty := e.geomGen != e.lastGeomGen
+	e.lastGeomGen = e.geomGen
+	if !cmpCopy(&e.prevLat, e.lat) {
+		dirty = true
+	}
+	if e.fabLat != nil && !cmpCopy(&e.prevFab, e.fabLat) {
+		dirty = true
+	}
+	if !cmpCopy(&e.prevChurn, e.churnPer) {
+		dirty = true
+	}
+	if dirty {
+		e.contGen++
+	}
+	quiet := !dirty && !eventsFired && !allocsRan
+	if quiet {
+		ds, ok := e.os.(DaemonScheduler)
+		if !ok {
+			quiet = false
+		} else {
+			nowEnd := (e.nowCycles + epochCycles) / e.machine.FreqHz
+			quiet = ds.NextDaemonDue(nowEnd) > nowEnd
+		}
+	}
+	e.epochQuiet = quiet
+	if quiet {
+		e.quietEpochs++
 	}
 }
 
@@ -615,11 +811,23 @@ func (e *Engine) growRegionState() {
 		for len(e.aDist) < n {
 			e.aDist = append(e.aDist, make([]float64, e.threads*e.nodes))
 			e.aDistGen = append(e.aDistGen, ^uint64(0))
+			e.snapGen = append(e.snapGen, ^uint64(0)) // sentinel: scans as moved
+		}
+		e.churnRIs = e.churnRIs[:0]
+		for ri, br := range e.wl.Regions {
+			if br.Spec.ChurnPer1K > 0 {
+				e.churnRIs = append(e.churnRIs, int32(ri))
+			}
 		}
 		for t := range e.ts {
-			for len(e.ts[t].ibsCarry) < n {
-				e.ts[t].ibsCarry = append(e.ts[t].ibsCarry, 0)
+			s := &e.ts[t]
+			for len(s.ibsCarry) < n {
+				s.ibsCarry = append(s.ibsCarry, 0)
 			}
+			for len(s.geom.thinRate) < n {
+				s.geom.thinRate = append(s.geom.thinRate, 0)
+			}
+			s.geom.churnW = resize(s.geom.churnW, len(e.churnRIs))
 		}
 	}
 	if e.ptHome != nil {
@@ -636,13 +844,22 @@ func (e *Engine) runEpoch(epoch int, epochCycles float64) bool {
 	// happens serially before the snapshot and the pricing stage, so
 	// every thread prices the post-event workload shape — the settle
 	// clamp guarantees no thread has worked past the boundary.
+	eventsFired := false
 	if e.wl.HasEvents() && e.wl.ApplyReadyEvents(e.minWorkFrac()) > 0 {
 		e.growRegionState()
+		eventsFired = true
 	}
 	// Refresh per-epoch derived state (page census, cache profiles, TLB
-	// assessment — identical across threads by symmetry).
+	// assessment — identical across threads by symmetry). The assessment
+	// is a function of the phase weights and the page census only, so
+	// ModeAnalytic reuses the previous epoch's until either moved.
 	e.snapshotEpoch()
-	assess := e.tlbModel.Assess(e.wl.TLBSegments(0, e.counts))
+	assess := e.assessCache
+	if !e.assessValid || e.cfg.FullRecompute || e.snapGen == nil {
+		assess = e.tlbModel.Assess(e.wl.TLBSegments(0, e.counts))
+		e.assessCache = assess
+		e.assessValid = true
+	}
 
 	budgets := e.budgets
 	for t := range budgets {
@@ -650,7 +867,7 @@ func (e *Engine) runEpoch(epoch int, epochCycles float64) bool {
 		e.stolen[t] = 0
 	}
 
-	e.runAllocRounds(epoch, budgets)
+	allocsRan := e.runAllocRounds(epoch, budgets)
 
 	// Initialization barrier: steady-state work starts only once every
 	// thread has finished its allocation phase, as in the real programs.
@@ -690,6 +907,7 @@ func (e *Engine) runEpoch(epoch int, epochCycles float64) bool {
 			// 4-epoch refresh throttle moved imbalance by >20 points on
 			// migration-heavy cells).
 			e.refreshNodeDists()
+			e.refreshContention(eventsFired, allocsRan, epochCycles)
 		}
 		// Stage 1 (parallel): price every runnable thread's epoch against
 		// the shared read-only snapshot, into per-thread scratch.
@@ -1125,8 +1343,10 @@ func (e *Engine) mergeSteady(t int) {
 // chunk is timing noise on real hardware, not a function of thread ids.
 // Allocation stays serial: it is the phase whose whole point is
 // cross-thread contention (racing first-touches, page-table locks), so
-// threads are not independent within an epoch here.
-func (e *Engine) runAllocRounds(epoch int, budgets []float64) {
+// threads are not independent within an epoch here. It reports whether
+// any thread entered an allocation round — allocation mutates mappings
+// and records traffic, so such an epoch can never be quiescent.
+func (e *Engine) runAllocRounds(epoch int, budgets []float64) bool {
 	active := e.allocActive[:0]
 	allocCount := e.allocCount
 	for t := 0; t < e.threads; t++ {
@@ -1135,6 +1355,7 @@ func (e *Engine) runAllocRounds(epoch int, budgets []float64) {
 			active = append(active, t)
 		}
 	}
+	ran := len(active) > 0
 	round := 0
 	var shuffleRng stats.Rng
 	for len(active) > 0 {
@@ -1186,6 +1407,7 @@ func (e *Engine) runAllocRounds(epoch int, budgets []float64) {
 		active = next
 	}
 	e.allocActive = active[:0]
+	return ran
 }
 
 // churnCostPerAccess prices allocation churn in expectation: fresh pages

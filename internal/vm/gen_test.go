@@ -68,5 +68,23 @@ func TestGenTracksEveryMutation(t *testing.T) {
 	if _, ok := r.PromoteGiant(512, costs); !ok {
 		t.Fatal("promote giant failed")
 	}
-	expect("PromoteGiant", true, g)
+	g = expect("PromoteGiant", true, g)
+
+	if !r.MigratePT(1) {
+		t.Fatal("pt migrate failed")
+	}
+	g = expect("MigratePT", true, g)
+	if r.MigratePT(1) {
+		t.Fatal("no-op pt migrate reported a move")
+	}
+	g = expect("no-op MigratePT", false, g)
+
+	if freed := r.Unmap(0, 8<<20); freed == 0 {
+		t.Fatal("unmap freed nothing")
+	}
+	g = expect("Unmap", true, g)
+	if freed := r.Unmap(0, 8<<20); freed != 0 {
+		t.Fatal("double unmap freed bytes")
+	}
+	expect("no-op Unmap", false, g)
 }

@@ -151,12 +151,15 @@ func (r *Region) PTHome() (topo.NodeID, bool) { return r.ptHome, r.ptHomeSet }
 
 // MigratePT moves the region's page tables to node (NUMA-aware
 // page-table migration); the caller prices the copy from PTBytes. It
-// reports whether anything moved.
+// reports whether anything moved. A move bumps the mapping generation:
+// the PT home is priced (walk surcharges, walk-fetch traffic), so
+// consumers memoizing on Gen must see it change.
 func (r *Region) MigratePT(to topo.NodeID) bool {
 	if !r.ptHomeSet || r.ptHome == to {
 		return false
 	}
 	r.ptHome = to
+	r.mutated()
 	return true
 }
 

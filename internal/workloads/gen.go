@@ -788,6 +788,11 @@ func (in *Instance) applyEvent(ev EventSpec) {
 		if br.pages4K == 0 {
 			br.pages4K = 1
 		}
+		// Unmap bumps Gen only when it released something; the shrink
+		// changes Spec.Bytes (and with it every SteadyOffset distribution
+		// and the cache profile) even when the dropped tail was never
+		// mapped, so the generation must move regardless.
+		br.VM.MarkMutated()
 	case ev.Shift != nil:
 		br := in.Regions[in.regionIndex(ev.Shift.Region)]
 		br.Spec.HotFrac = ev.Shift.HotFrac

@@ -93,6 +93,31 @@ func RunContext(ctx context.Context, req Request) (Result, error) {
 // results in request order.
 func RunAll(reqs []Request) ([]Result, error) { return runner.RunAll(reqs) }
 
+// EpochBenchResult reports per-epoch pricing times; see
+// sim.EpochBenchResult.
+type EpochBenchResult = sim.EpochBenchResult
+
+// BenchAnalyticEpoch times one steady-state pricing epoch of the named
+// cell in analytic mode, both with full recomputation (the DESIGN.md
+// §4.7 baseline) and through the §4.10 quiescent fast path. This is the
+// engine-level number `lpnuma bench` records in its
+// analytic-incremental suite row.
+func BenchAnalyticEpoch(machineName, workload, policyName string, cfg Config, reps int) (EpochBenchResult, error) {
+	machine, err := runner.MachineByName(machineName)
+	if err != nil {
+		return EpochBenchResult{}, err
+	}
+	spec, err := workloads.ByName(workload)
+	if err != nil {
+		return EpochBenchResult{}, err
+	}
+	pol, err := policy.ByName(policyName)
+	if err != nil {
+		return EpochBenchResult{}, err
+	}
+	return sim.BenchAnalyticEpoch(machine, spec, pol, cfg, reps)
+}
+
 // ImprovementPct is the paper's performance metric: percent improvement
 // of x over baseline.
 func ImprovementPct(baseline, x Result) float64 { return runner.ImprovementPct(baseline, x) }

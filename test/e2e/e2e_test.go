@@ -379,7 +379,7 @@ func TestServeSlowClientDoesNotWedge(t *testing.T) {
 	}
 }
 
-// TestServebenchSmoke: the load harness runs, reports schema 4 /
+// TestServebenchSmoke: the load harness runs, reports schema 5 /
 // suite serve, thousands of cached requests per second, and no errors.
 func TestServebenchSmoke(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
@@ -402,7 +402,7 @@ func TestServebenchSmoke(t *testing.T) {
 	if err := json.Unmarshal(raw, &rep); err != nil {
 		t.Fatal(err)
 	}
-	if rep.SchemaVersion != 4 || rep.Suite != "serve" {
+	if rep.SchemaVersion != 5 || rep.Suite != "serve" {
 		t.Fatalf("report schema wrong: %+v", rep)
 	}
 	if rep.Errors != 0 {
