@@ -168,9 +168,9 @@ func BenchmarkAblationSplitGranularity(b *testing.B) {
 		cfg.WorkScale = benchScale
 		lpCfg := core.DefaultConfig()
 		lpCfg.SharedSplitEnabled = shared
-		eng, err := sim.New(topo.MachineB(), spec, &lpVariant{cfg: lpCfg}, cfg)
-		if err != nil {
-			b.Fatal(err)
+		eng, engErr := sim.New(topo.MachineB(), spec, &lpVariant{cfg: lpCfg}, cfg)
+		if engErr != nil {
+			b.Fatal(engErr)
 		}
 		return eng.Run().RuntimeSeconds
 	}

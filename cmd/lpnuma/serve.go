@@ -169,12 +169,12 @@ func runServeBench(args []string, stdout, stderr io.Writer) (retErr error) {
 			var myReq, myErr uint64
 			for loadCtx.Err() == nil {
 				t0 := time.Now()
-				_, err := c.Run(loadCtx, cell)
+				_, runErr := c.Run(loadCtx, cell)
 				if loadCtx.Err() != nil {
 					break // window closed mid-request; don't count it
 				}
 				myReq++
-				if err != nil {
+				if runErr != nil {
 					myErr++
 				} else {
 					myLat = append(myLat, time.Since(t0).Seconds()*1000)

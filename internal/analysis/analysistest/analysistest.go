@@ -1,0 +1,122 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against "// want" comments, following the
+// x/tools analysistest conventions: fixtures live under
+// testdata/src/<import path>/, and a line expecting diagnostics carries
+// a trailing comment of the form
+//
+//	// want "regexp"
+//	// want "first" "second"
+//	// want `raw regexp`
+//
+// Every diagnostic must be matched by a want on its line, and every
+// want must match exactly one diagnostic.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads each fixture package below srcRoot, applies the analyzer,
+// and reports mismatches between its diagnostics and the fixtures'
+// want comments as test errors.
+func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	loader := analysis.NewFixtureLoader(srcRoot)
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", path, err)
+			continue
+		}
+		findings, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		checkWants(t, pkg, findings)
+	}
+}
+
+type want struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	text string
+	hits int
+}
+
+// checkWants compares findings against the want comments of pkg.
+func checkWants(t *testing.T, pkg *analysis.Package, findings []analysis.Finding) {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				ws, err := parseWants(c)
+				if err != nil {
+					t.Errorf("%s: %v", pkg.Fset.Position(c.Pos()), err)
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, w := range ws {
+					w.file, w.line = pos.Filename, pos.Line
+					wants = append(wants, w)
+				}
+			}
+		}
+	}
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if w.file == f.Pos.Filename && w.line == f.Pos.Line && w.hits == 0 && w.rx.MatchString(f.Message) {
+				w.hits++
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", f.Pos, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if w.hits == 0 {
+			t.Errorf("%s:%d: no diagnostic matched %q", w.file, w.line, w.text)
+		}
+	}
+}
+
+// parseWants extracts the want expectations of one comment, if any.
+func parseWants(c *ast.Comment) ([]*want, error) {
+	text := strings.TrimPrefix(c.Text, "//")
+	text = strings.TrimSpace(text)
+	rest, ok := strings.CutPrefix(text, "want ")
+	if !ok {
+		return nil, nil
+	}
+	var wants []*want
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			return nil, fmt.Errorf("malformed want comment %q: %w", text, err)
+		}
+		lit, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, fmt.Errorf("malformed want pattern %q: %w", q, err)
+		}
+		rx, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp %q: %w", lit, err)
+		}
+		wants = append(wants, &want{rx: rx, text: lit})
+		rest = strings.TrimSpace(rest[len(q):])
+	}
+	return wants, nil
+}

@@ -1,0 +1,14 @@
+package analyzers
+
+import "repro/internal/analysis"
+
+// All returns the full lpnumavet suite in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		GenBump,
+		MapIter,
+		NoAlloc,
+		WallClock,
+		WrapSentinel,
+	}
+}

@@ -1,0 +1,55 @@
+package analyzers_test
+
+import (
+	"path/filepath"
+	"slices"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analyzers"
+)
+
+func fixtures(name string) string {
+	return filepath.Join("testdata", "src", name)
+}
+
+func TestMapIter(t *testing.T) {
+	analysistest.Run(t, fixtures("mapiter"), analyzers.MapIter, "sim", "other")
+}
+
+func TestWallClock(t *testing.T) {
+	analysistest.Run(t, fixtures("wallclock"), analyzers.WallClock, "sim")
+}
+
+func TestNoAlloc(t *testing.T) {
+	analysistest.Run(t, fixtures("noalloc"), analyzers.NoAlloc, "a")
+}
+
+func TestGenBump(t *testing.T) {
+	analysistest.Run(t, fixtures("genbump"), analyzers.GenBump, "vm")
+}
+
+func TestWrapSentinel(t *testing.T) {
+	analysistest.Run(t, fixtures("wrapsentinel"), analyzers.WrapSentinel, "a", "b")
+}
+
+// TestGenBumpSurveyRealVM type-checks the real vm package and spot
+// checks the classification the vm sync test builds on: the PR 8 bug
+// methods are recognized as bumping mutators, and every non-bumping
+// observable writer is accounted for by the allowlist.
+func TestGenBumpSurveyRealVM(t *testing.T) {
+	mutators, nonBumping, err := analyzers.GenBumpSurvey(".")
+	if err != nil {
+		t.Fatalf("GenBumpSurvey: %v", err)
+	}
+	for _, m := range []string{"Region.MigratePT", "Region.MigrateChunk", "Region.Unmap"} {
+		if !slices.Contains(mutators, m) {
+			t.Errorf("survey mutators %v missing %s", mutators, m)
+		}
+	}
+	for _, m := range nonBumping {
+		if _, ok := analyzers.GenBumpAllowlist[m]; !ok {
+			t.Errorf("non-bumping observable writer %s is not in GenBumpAllowlist; genbump would reject it", m)
+		}
+	}
+}

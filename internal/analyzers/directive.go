@@ -1,0 +1,142 @@
+// Package analyzers is the lpnumavet suite: five repo-specific
+// analyzers that turn the engine's load-bearing runtime invariants —
+// worker-count determinism, zero-allocation steady epochs, Gen-bumped
+// vm mutations, wall-clock-free simulation, errors.Is-able sentinels —
+// into compile-time checks. DESIGN.md "Static invariants" maps each
+// analyzer to the runtime test it backstops.
+//
+// # Annotation grammar
+//
+// A finding is suppressed by a justification comment on the offending
+// line or on the line directly above it:
+//
+//	//lpnuma:<name> <reason>
+//
+// where <name> is the analyzer's escape (nondet-ok, wallclock-ok,
+// alloc-ok, genbump-ok, unwrap-ok) and <reason> is mandatory free text
+// explaining why the invariant holds anyway. An annotation without a
+// reason suppresses nothing and is itself reported.
+//
+// Two annotations mark code rather than suppress findings:
+// //lpnuma:noalloc on a function declaration puts the function and its
+// same-package callees under the noalloc analyzer, and
+// //lpnuma:genbump-ok on an exported vm method exempts it from the
+// Gen-bump obligation.
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// deterministicPkgs names the packages whose outputs must be
+// byte-identical across runs and worker counts: everything the
+// simulation result is computed from. The serve/cmd layers above them
+// are free to iterate maps and read clocks.
+var deterministicPkgs = map[string]bool{
+	"sim":       true,
+	"policy":    true,
+	"carrefour": true,
+	"vm":        true,
+	"workloads": true,
+	"mem":       true,
+}
+
+// deterministicPkg reports whether the package under analysis is one of
+// the determinism-critical packages (matched by package name, so
+// fixture packages named sim/vm/... exercise the analyzers too).
+func deterministicPkg(pkg *types.Package) bool {
+	return deterministicPkgs[pkg.Name()]
+}
+
+// directivePrefix starts every annotation comment.
+const directivePrefix = "lpnuma:"
+
+// directive is one parsed //lpnuma:<name> <reason> comment.
+type directive struct {
+	name     string
+	reason   string
+	file     string
+	line     int
+	pos      token.Pos
+	reported bool // a reasonless directive is reported at most once
+}
+
+// directiveIndex holds a pass's annotations, indexed for line lookups.
+type directiveIndex struct {
+	byName map[string][]*directive
+}
+
+// parseDirective decodes one comment, or returns nil. Both comment
+// forms work: //lpnuma:name reason, and /*lpnuma:name reason*/ for
+// lines that also carry another trailing comment.
+func parseDirective(c *ast.Comment) *directive {
+	text := c.Text
+	if inner, ok := strings.CutPrefix(text, "/*"); ok {
+		text = "//" + strings.TrimSpace(strings.TrimSuffix(inner, "*/"))
+	}
+	rest, ok := strings.CutPrefix(text, "//"+directivePrefix)
+	if !ok {
+		return nil
+	}
+	name, reason, _ := strings.Cut(rest, " ")
+	return &directive{name: name, reason: strings.TrimSpace(reason)}
+}
+
+// collectDirectives indexes every annotation in the pass's files.
+func collectDirectives(pass *analysis.Pass) *directiveIndex {
+	idx := &directiveIndex{byName: map[string][]*directive{}}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d := parseDirective(c)
+				if d == nil {
+					continue
+				}
+				p := pass.Fset.Position(c.Pos())
+				d.file, d.line, d.pos = p.Filename, p.Line, c.Pos()
+				idx.byName[d.name] = append(idx.byName[d.name], d)
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether a finding at pos is covered by a <name>
+// annotation on the same line or the line above. An annotation that is
+// present but lacks a reason does not suppress; the caller reports it.
+func (idx *directiveIndex) suppressed(pass *analysis.Pass, name string, pos token.Pos) bool {
+	p := pass.Fset.Position(pos)
+	for _, d := range idx.byName[name] {
+		if d.file != p.Filename || (d.line != p.Line && d.line != p.Line-1) {
+			continue
+		}
+		if d.reason == "" {
+			if !d.reported {
+				d.reported = true
+				pass.Reportf(d.pos, "//lpnuma:%s needs a justification: //lpnuma:%s <reason>", name, name)
+			}
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// funcDirective reports whether decl's doc comment carries the named
+// annotation, returning its reason.
+func funcDirective(decl *ast.FuncDecl, name string) (string, bool) {
+	if decl.Doc == nil {
+		return "", false
+	}
+	for _, c := range decl.Doc.List {
+		if d := parseDirective(c); d != nil && d.name == name {
+			return d.reason, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,111 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// MapIter flags `range` over a map in the deterministic packages.
+// Map iteration order is deliberately randomized by the runtime, so any
+// map range whose body's effect depends on order is a worker-count or
+// run-to-run determinism bug — the class PR 2 ripped out of
+// carrefour.GroupSamples. Two shapes are allowed: the canonical
+// collect-keys-then-sort idiom (a loop whose whole body appends the
+// range variable to a slice), and sites annotated
+// //lpnuma:nondet-ok <reason> whose effect is provably order-free.
+var MapIter = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc:  "flag map iteration in deterministic packages (sim, policy, carrefour, vm, workloads, mem)",
+	Run:  runMapIter,
+}
+
+func runMapIter(pass *analysis.Pass) error {
+	if !deterministicPkg(pass.Pkg) {
+		return nil
+	}
+	dirs := collectDirectives(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			xt := pass.TypesInfo.TypeOf(rs.X)
+			if xt == nil {
+				return true
+			}
+			if _, isMap := xt.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if isKeyCollectionLoop(pass, rs) {
+				return true
+			}
+			if dirs.suppressed(pass, "nondet-ok", rs.For) {
+				return true
+			}
+			pass.Reportf(rs.For, "range over map %s in deterministic package %s: iteration order is randomized; collect and sort the keys, or annotate //lpnuma:nondet-ok <reason>",
+				types.ExprString(rs.X), pass.Pkg.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// isKeyCollectionLoop recognizes the sort-the-keys idiom's first half:
+//
+//	for k := range m { keys = append(keys, k) }
+//
+// (also accepted with the range value instead of the key). The body
+// must be exactly the self-append; anything else can observe iteration
+// order.
+func isKeyCollectionLoop(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	if rs.Body == nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	if b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	// The append target must be the assignment target (x = append(x, ...)).
+	if types.ExprString(as.Lhs[0]) != types.ExprString(call.Args[0]) {
+		return false
+	}
+	// Every appended element must be one of the range variables.
+	rangeVar := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		for _, rv := range []ast.Expr{rs.Key, rs.Value} {
+			if rid, ok := rv.(*ast.Ident); ok {
+				if ro := pass.TypesInfo.Defs[rid]; ro != nil && ro == obj {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, arg := range call.Args[1:] {
+		if !rangeVar(arg) {
+			return false
+		}
+	}
+	return true
+}

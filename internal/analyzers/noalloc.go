@@ -1,0 +1,329 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+// NoAlloc flags allocation-inducing constructs inside functions marked
+// //lpnuma:noalloc and the same-package functions they call. The
+// runtime guards (TestSteadyEpochZeroAlloc, TestAnalyticEpochZeroAlloc,
+// TestAnalyticQuiescentEpochZeroAlloc) prove whole epochs allocate
+// nothing once scratch is warm, but they fail after the fact and point
+// at nothing; this analyzer points at the exact site before the test
+// runs. Constructs that are provably amortized — appends into scratch
+// whose capacity stabilizes, panic-path formatting — carry
+// //lpnuma:alloc-ok <reason> so every allocation on a hot path is
+// either absent or justified in place.
+var NoAlloc = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "flag allocating constructs in //lpnuma:noalloc functions and their intra-package callees",
+	Run:  runNoAlloc,
+}
+
+func runNoAlloc(pass *analysis.Pass) error {
+	dirs := collectDirectives(pass)
+
+	// Collect this package's function declarations.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	var roots []*types.Func
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[fn] = fd
+			if _, marked := funcDirective(fd, "noalloc"); marked {
+				roots = append(roots, fn)
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Name() < roots[j].Name() })
+
+	// Propagate the obligation through same-package static calls.
+	rootOf := map[*types.Func]*types.Func{}
+	var queue []*types.Func
+	for _, r := range roots {
+		rootOf[r] = r
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		ast.Inspect(decls[fn].Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass, call)
+			if callee == nil || callee.Pkg() != pass.Pkg {
+				return true
+			}
+			if _, ok := decls[callee]; !ok {
+				return true
+			}
+			if _, seen := rootOf[callee]; !seen {
+				rootOf[callee] = rootOf[fn]
+				queue = append(queue, callee)
+			}
+			return true
+		})
+	}
+
+	// Scan every obligated function, in declaration order.
+	var marked []*types.Func
+	for fn := range rootOf {
+		marked = append(marked, fn)
+	}
+	sort.Slice(marked, func(i, j int) bool { return decls[marked[i]].Pos() < decls[marked[j]].Pos() })
+	for _, fn := range marked {
+		checkNoAllocBody(pass, dirs, decls[fn], fn, rootOf[fn])
+	}
+	return nil
+}
+
+// calleeFunc resolves a call expression to the invoked function or
+// method, if statically known.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// checkNoAllocBody reports each allocating construct in one obligated
+// function.
+func checkNoAllocBody(pass *analysis.Pass, dirs *directiveIndex, fd *ast.FuncDecl, fn, root *types.Func) {
+	where := "noalloc function " + fn.Name()
+	if fn != root {
+		where = fn.Name() + " (called from //lpnuma:noalloc function " + root.Name() + ")"
+	}
+	report := func(pos token.Pos, what string) {
+		if dirs.suppressed(pass, "alloc-ok", pos) {
+			return
+		}
+		pass.Reportf(pos, "%s in %s: steady-state epochs must not allocate (fix it, or annotate //lpnuma:alloc-ok <reason>)", what, where)
+	}
+	// boxing reports an implicit concrete→interface conversion.
+	boxing := func(pos token.Pos, from types.Type, to types.Type, ctx string) {
+		if to == nil || from == nil {
+			return
+		}
+		if _, ok := to.Underlying().(*types.Interface); !ok {
+			return
+		}
+		if _, ok := from.Underlying().(*types.Interface); ok {
+			return // interface→interface carries the existing box
+		}
+		if b, ok := from.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			return
+		}
+		report(pos, "interface conversion of "+from.String()+" ("+ctx+")")
+	}
+
+	// lits lets the return check find the signature a return belongs to:
+	// the innermost enclosing function literal, or the declaration.
+	var lits []*ast.FuncLit
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+		}
+		return true
+	})
+	sigAt := func(pos token.Pos) *types.Signature {
+		sig := fn.Type().(*types.Signature)
+		for _, lit := range lits {
+			if lit.Body.Pos() <= pos && pos < lit.End() {
+				if ls, ok := pass.TypesInfo.Types[lit].Type.(*types.Signature); ok {
+					sig = ls // lits are in source order: later match = more nested
+				}
+			}
+		}
+		return sig
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if capt := capturedVar(pass, fd, n); capt != "" {
+				report(n.Pos(), "closure capturing "+capt)
+			}
+			return true
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement (new goroutine)")
+		case *ast.CompositeLit:
+			switch pass.TypesInfo.Types[n].Type.Underlying().(type) {
+			case *types.Map:
+				report(n.Pos(), "map literal")
+			case *types.Slice:
+				report(n.Pos(), "slice literal")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(n.Pos(), "&composite literal (escapes to heap)")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				tv := pass.TypesInfo.Types[n]
+				if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 && tv.Value == nil {
+					report(n.Pos(), "string concatenation")
+				}
+			}
+		case *ast.CallExpr:
+			checkNoAllocCall(pass, report, boxing, n)
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					if n.Tok == token.DEFINE {
+						continue // inferred type: never a boxing site
+					}
+					lt := pass.TypesInfo.TypeOf(n.Lhs[i])
+					rt := pass.TypesInfo.TypeOf(n.Rhs[i])
+					boxing(n.Rhs[i].Pos(), rt, lt, "assignment")
+				}
+			}
+			for _, lhs := range n.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					xt := pass.TypesInfo.TypeOf(ix.X)
+					if xt == nil {
+						continue
+					}
+					if _, isMap := xt.Underlying().(*types.Map); isMap {
+						report(lhs.Pos(), "map insert (may grow the map)")
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if n.Type != nil {
+				lt := pass.TypesInfo.TypeOf(n.Type)
+				for _, v := range n.Values {
+					boxing(v.Pos(), pass.TypesInfo.TypeOf(v), lt, "variable declaration")
+				}
+			}
+		case *ast.ReturnStmt:
+			res := sigAt(n.Pos()).Results()
+			if len(n.Results) == res.Len() {
+				for i, r := range n.Results {
+					boxing(r.Pos(), pass.TypesInfo.TypeOf(r), res.At(i).Type(), "return")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkNoAllocCall handles the call-shaped allocation sources: builtin
+// make/new/append, string↔[]byte conversions, and implicit interface
+// boxing of arguments.
+func checkNoAllocCall(pass *analysis.Pass, report func(token.Pos, string), boxing func(token.Pos, types.Type, types.Type, string), call *ast.CallExpr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				report(call.Pos(), "make")
+			case "new":
+				report(call.Pos(), "new")
+			case "append":
+				report(call.Pos(), "append (may grow the backing array)")
+			}
+			return
+		}
+	}
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion: string↔[]byte and string↔[]rune copy.
+		to := tv.Type.Underlying()
+		from := pass.TypesInfo.TypeOf(call.Args[0])
+		if from != nil && (isStringByteConv(from.Underlying(), to) || isStringByteConv(to, from.Underlying())) {
+			report(call.Pos(), "string conversion (copies the bytes)")
+		}
+		return
+	}
+	ft := pass.TypesInfo.TypeOf(call.Fun)
+	if ft == nil {
+		return
+	}
+	sig, ok := ft.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding an existing slice: no per-arg boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		boxing(arg.Pos(), pass.TypesInfo.TypeOf(arg), pt, "argument")
+	}
+	if sig.Variadic() && !call.Ellipsis.IsValid() && len(call.Args) >= params.Len() {
+		report(call.Pos(), "variadic call (argument slice)")
+	}
+}
+
+// isStringByteConv reports a string→[]byte/[]rune shape.
+func isStringByteConv(from, to types.Type) bool {
+	fb, ok := from.(*types.Basic)
+	if !ok || fb.Info()&types.IsString == 0 {
+		return false
+	}
+	ts, ok := to.(*types.Slice)
+	if !ok {
+		return false
+	}
+	eb, ok := ts.Elem().Underlying().(*types.Basic)
+	return ok && (eb.Kind() == types.Byte || eb.Kind() == types.Rune || eb.Kind() == types.Uint8 || eb.Kind() == types.Int32)
+}
+
+// capturedVar returns the name of a variable the closure captures from
+// its enclosing function, or "" when it captures nothing (a
+// non-capturing func literal compiles to a static closure and does not
+// allocate).
+func capturedVar(pass *analysis.Pass, fd *ast.FuncDecl, lit *ast.FuncLit) string {
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pos() >= fd.Pos() && v.Pos() < fd.End() && (v.Pos() < lit.Pos() || v.Pos() >= lit.End()) {
+			captured = v.Name()
+			return false
+		}
+		return true
+	})
+	return captured
+}

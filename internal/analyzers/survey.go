@@ -1,0 +1,54 @@
+package analyzers
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+// GenBumpSurvey type-checks repro/internal/vm from the module rooted at
+// (or above) dir and classifies every exported Region/AddrSpace method
+// the way the genbump analyzer does. It returns the methods that write
+// mapping-observable state and bump the generation (mutators) and the
+// observable writers that do not bump (which must all be allowlisted or
+// annotated for genbump to pass). vm's TestGenTracksEveryMutation uses
+// this to keep its runtime mutation table and GenBumpAllowlist in
+// lockstep with the static classification: a method added to vm without
+// updating the table fails the test, and a stale table entry fails it
+// too. analyzers never imports vm, so the dependency stays one-way.
+func GenBumpSurvey(dir string) (mutators, nonBumping []string, err error) {
+	root, err := analysis.ModuleRoot(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	pkg, err := loader.Load("repro/internal/vm")
+	if err != nil {
+		return nil, nil, fmt.Errorf("loading repro/internal/vm: %w", err)
+	}
+	pass := &analysis.Pass{
+		Analyzer:  GenBump,
+		Fset:      loader.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(analysis.Diagnostic) {},
+	}
+	for _, m := range classifyGenMethods(pass) {
+		if !m.exported || len(m.writes) == 0 {
+			continue
+		}
+		if m.bumps {
+			mutators = append(mutators, m.name)
+		} else {
+			nonBumping = append(nonBumping, m.name)
+		}
+	}
+	sort.Strings(mutators)
+	sort.Strings(nonBumping)
+	return mutators, nonBumping, nil
+}

@@ -1,0 +1,11 @@
+// Package other is outside the deterministic set: map iteration is
+// unrestricted here.
+package other
+
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // not a deterministic package: fine
+		total += v
+	}
+	return total
+}

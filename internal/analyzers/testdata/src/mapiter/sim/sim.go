@@ -1,0 +1,66 @@
+// Package sim is a mapiter fixture: its name puts it in the
+// deterministic set.
+package sim
+
+import "sort"
+
+func Bad(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over map m in deterministic package sim`
+		total += v
+	}
+	return total
+}
+
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // the canonical collect-then-sort idiom: allowed
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func CollectValues(m map[string]int) []int {
+	var vals []int
+	for _, v := range m { // value collection is the same idiom: allowed
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	return vals
+}
+
+func Annotated(m map[string]int) int {
+	n := 0
+	//lpnuma:nondet-ok integer sum is commutative; order cannot leak
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func AnnotatedNoReason(m map[string]int) int {
+	n := 0
+	for _, v := range m { /*lpnuma:nondet-ok*/ // want `range over map m in deterministic package sim` `needs a justification`
+		n += v
+	}
+	return n
+}
+
+func CollectPlusExtra(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over map m in deterministic package sim`
+		keys = append(keys, k)
+		_ = len(keys) // any extra statement can observe order
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func SliceRange(xs []int) int {
+	n := 0
+	for _, v := range xs { // not a map: fine
+		n += v
+	}
+	return n
+}

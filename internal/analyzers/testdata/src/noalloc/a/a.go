@@ -1,0 +1,88 @@
+// Package a is a noalloc fixture.
+package a
+
+type sink interface{ Consume(int) }
+
+type scratch struct {
+	buf   []int
+	index map[int]int
+	s     sink
+}
+
+// Hot is the marked root: everything it does, and everything it calls
+// in this package, must be allocation-free.
+//
+//lpnuma:noalloc fixture root
+func Hot(s *scratch, xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += helper(s, x)
+	}
+	grown := append(s.buf, total) // want `append \(may grow the backing array\) in noalloc function Hot`
+	_ = grown
+	m := map[int]int{} // want `map literal in noalloc function Hot`
+	_ = m
+	sl := []int{1, 2, 3} // want `slice literal in noalloc function Hot`
+	_ = sl
+	p := &scratch{} // want `&composite literal \(escapes to heap\) in noalloc function Hot`
+	_ = p
+	b := make([]int, 8) // want `make in noalloc function Hot`
+	_ = b
+	s.index[total] = total            // want `map insert \(may grow the map\) in noalloc function Hot`
+	go work()                         // want `go statement \(new goroutine\) in noalloc function Hot`
+	fn := func() int { return total } // want `closure capturing total in noalloc function Hot`
+	_ = fn
+	//lpnuma:alloc-ok scratch append; capacity stabilizes after warm-up
+	s.buf = append(s.buf, total)
+	return total
+}
+
+// helper is unmarked but called from Hot, so the obligation propagates.
+func helper(s *scratch, x int) int {
+	s.buf = append(s.buf, x) // want `append \(may grow the backing array\) in helper \(called from //lpnuma:noalloc function Hot\)`
+	return x
+}
+
+// Cold is unmarked and uncalled from any root: it may allocate freely.
+func Cold() []int {
+	out := make([]int, 0, 4)
+	out = append(out, 1)
+	return out
+}
+
+//lpnuma:noalloc boxing fixture root
+func Boxy(s *scratch, v int, e error) error {
+	s.s.Consume(v)   // interface method call: no new box
+	consume(v)       // want `interface conversion of int \(argument\) in noalloc function Boxy`
+	var any1 any = v // want `interface conversion of int \(variable declaration\) in noalloc function Boxy`
+	_ = any1
+	var any2 any
+	any2 = v // want `interface conversion of int \(assignment\) in noalloc function Boxy`
+	_ = any2
+	if v > 0 {
+		return errValue(v) // returning an error interface from an error expression: no new box
+	}
+	return nil // untyped nil: no box
+}
+
+//lpnuma:noalloc string fixture root
+func Strings(name string, raw []byte) string {
+	b := []byte(name) // want `string conversion \(copies the bytes\) in noalloc function Strings`
+	_ = b
+	s := string(raw) // want `string conversion \(copies the bytes\) in noalloc function Strings`
+	if len(s) > 0 {
+		return name + s // want `string concatenation in noalloc function Strings`
+	}
+	return name
+}
+
+//lpnuma:noalloc variadic fixture root
+func Variadic(vals []any, v int) {
+	sinkAll(vals...) // forwarding an existing slice: fine
+	sinkAll(v)       // want `interface conversion of int \(argument\) in noalloc function Variadic` `variadic call \(argument slice\) in noalloc function Variadic`
+}
+
+func consume(v any)      { _ = v }
+func sinkAll(vs ...any)  { _ = vs }
+func errValue(int) error { return nil }
+func work()              {}

@@ -1,0 +1,37 @@
+// Package sim is a wallclock fixture.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func HostTime() float64 {
+	start := time.Now() // want `time.Now in deterministic package sim`
+	work()
+	return time.Since(start).Seconds() // want `time.Since in deterministic package sim`
+}
+
+func Nap() {
+	time.Sleep(time.Millisecond) // want `time.Sleep in deterministic package sim`
+}
+
+func GlobalDraw() int {
+	return rand.Intn(10) // want `global rand.Intn in deterministic package sim`
+}
+
+func SeededDraw(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // constructors are deterministic
+	return rng.Intn(10)                   // methods on a seeded generator are fine
+}
+
+func Annotated() time.Time {
+	//lpnuma:wallclock-ok bench harness: host time is the measurement
+	return time.Now()
+}
+
+func Duration(d time.Duration) float64 {
+	return d.Seconds() // time types without clock reads are fine
+}
+
+func work() {}

@@ -1,0 +1,13 @@
+// Package a exports a sentinel error, like mem.ErrFragmented.
+package a
+
+import "errors"
+
+var ErrFragmented = errors.New("fragmented")
+
+func Reserve(n int) error {
+	if n > 8 {
+		return ErrFragmented
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+// Package b wraps package a's sentinel across the package boundary.
+package b
+
+import (
+	"fmt"
+
+	"a"
+)
+
+func Bad(n int) error {
+	if err := a.Reserve(n); err != nil {
+		return fmt.Errorf("reserving %d pages: %v", n, err) // want `error err formatted with %v`
+	}
+	return nil
+}
+
+func Good(n int) error {
+	if err := a.Reserve(n); err != nil {
+		return fmt.Errorf("reserving %d pages: %w", n, err)
+	}
+	return nil
+}
+
+func BadS(err error) string {
+	return fmt.Sprintf("failed: %v", err) // Sprintf builds a string, not a wrap chain: fine
+}
+
+func Mixed(n int, err error) error {
+	return fmt.Errorf("unit %d: %s (context %v)", n, err, n) // want `error err formatted with %s`
+}
+
+func Starred(w int, err error) error {
+	return fmt.Errorf("%*d: %v", w, 0, err) // want `error err formatted with %v`
+}
+
+func Annotated(err error) error {
+	//lpnuma:unwrap-ok boundary deliberately erases the cause; callers match on this message
+	return fmt.Errorf("opaque: %v", err)
+}
+
+func Plural(e1, e2 error) error {
+	return fmt.Errorf("both failed: %w; %w", e1, e2) // multiple %w wraps are legal since go1.20
+}

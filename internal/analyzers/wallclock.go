@@ -1,0 +1,70 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// WallClock bans host-time and global-randomness reads in the
+// deterministic packages. Simulated time is the engine's own cycle
+// accounting; a time.Now or a shared math/rand draw makes results
+// depend on the host scheduler and on whatever else ran in the
+// process. Seeded *rand.Rand instances (stats.Rng wraps one) and the
+// constructors that build them stay legal. The bench harness in
+// sim/epochbench.go measures host time on purpose and carries the
+// //lpnuma:wallclock-ok annotation.
+var WallClock = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc:  "flag time.Now/Since/Until/Sleep and global math/rand use in deterministic packages",
+	Run:  runWallClock,
+}
+
+// wallClockFuncs are the banned package-level time functions.
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+	"Sleep": true,
+}
+
+func runWallClock(pass *analysis.Pass) error {
+	if !deterministicPkg(pass.Pkg) {
+		return nil
+	}
+	dirs := collectDirectives(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true // methods (e.g. on a seeded *rand.Rand) are fine
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallClockFuncs[fn.Name()] && !dirs.suppressed(pass, "wallclock-ok", sel.Pos()) {
+					pass.Reportf(sel.Pos(), "time.%s in deterministic package %s: simulation results must not depend on host time; use simulated cycles, or annotate //lpnuma:wallclock-ok <reason>",
+						fn.Name(), pass.Pkg.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if strings.HasPrefix(fn.Name(), "New") {
+					return true // building a seeded generator is deterministic
+				}
+				if !dirs.suppressed(pass, "wallclock-ok", sel.Pos()) {
+					pass.Reportf(sel.Pos(), "global %s.%s in deterministic package %s: the process-wide generator is shared and unseeded; draw from a seeded stats.Rng, or annotate //lpnuma:wallclock-ok <reason>",
+						fn.Pkg().Name(), fn.Name(), pass.Pkg.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

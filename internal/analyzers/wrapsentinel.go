@@ -1,0 +1,101 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// WrapSentinel flags fmt.Errorf calls that format an error value with
+// a verb other than %w. The engine's control flow leans on sentinel
+// matching across package boundaries — runner.ErrUnknownMachine,
+// workloads.ErrUnknownWorkload and policy.ErrUnknownPolicy become HTTP
+// 400s in serve, mem.ErrFragmented gates the vm fallback path — and a
+// %v anywhere on the wrap chain silently breaks every errors.Is above
+// it. Deliberately opaque wraps carry //lpnuma:unwrap-ok <reason>.
+var WrapSentinel = &analysis.Analyzer{
+	Name: "wrapsentinel",
+	Doc:  "flag fmt.Errorf formatting an error with a non-%w verb, which breaks errors.Is matching",
+	Run:  runWrapSentinel,
+}
+
+func runWrapSentinel(pass *analysis.Pass) error {
+	errorType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	dirs := collectDirectives(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[call.Args[0]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				return true // non-constant format: nothing to check statically
+			}
+			verbs, ok := formatVerbs(constant.StringVal(tv.Value))
+			if !ok {
+				return true // indexed or otherwise exotic format
+			}
+			for i, verb := range verbs {
+				argIdx := 1 + i
+				if argIdx >= len(call.Args) || verb == 'w' {
+					continue
+				}
+				arg := call.Args[argIdx]
+				at := pass.TypesInfo.TypeOf(arg)
+				if at == nil || !types.Implements(at, errorType) {
+					continue
+				}
+				if dirs.suppressed(pass, "unwrap-ok", arg.Pos()) {
+					continue
+				}
+				pass.Reportf(arg.Pos(), "error %s formatted with %%%c: the wrap hides it from errors.Is/errors.As across package boundaries; use %%w, or annotate //lpnuma:unwrap-ok <reason>",
+					types.ExprString(arg), verb)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// formatVerbs returns the verb letter consuming each successive
+// argument of a printf-style format. Star width/precision arguments
+// occupy a slot (returned as '*'). Indexed arguments (%[1]d) make the
+// mapping non-sequential; the caller skips those formats (ok=false).
+func formatVerbs(format string) (verbs []rune, ok bool) {
+	rs := []rune(format)
+	for i := 0; i < len(rs); i++ {
+		if rs[i] != '%' {
+			continue
+		}
+		i++
+	spec:
+		for ; i < len(rs); i++ {
+			switch c := rs[i]; {
+			case c == '%':
+				break spec // literal %%
+			case c == '[':
+				return nil, false
+			case c == '*':
+				verbs = append(verbs, '*')
+			case c == '#' || c == '+' || c == '-' || c == ' ' || c == '0' ||
+				c == '.' || (c >= '1' && c <= '9'):
+				// flags, width, precision: keep scanning
+			default:
+				verbs = append(verbs, c)
+				break spec
+			}
+		}
+	}
+	return verbs, true
+}

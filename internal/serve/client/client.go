@@ -117,7 +117,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, resp 
 			select {
 			case <-time.After(delay):
 			case <-ctx.Done():
-				return fmt.Errorf("client: %w (last attempt: %v)", ctx.Err(), lastErr)
+				return fmt.Errorf("client: %w (last attempt: %w)", ctx.Err(), lastErr)
 			}
 		}
 		err := c.attempt(ctx, method, path, body, resp)

@@ -359,6 +359,7 @@ func (e *Engine) thinIBS(t, phase, src int, core topo.CoreID, s *threadScratch, 
 			off := e.wl.SteadyOffset(t, ri, rng)
 			res, fcost := e.resolveDraw(s, int32(ri), t, core, off, shared)
 			faultDirect += fcost
+			//lpnuma:alloc-ok scratch append; capacity stabilizes after warm-up (TestAnalyticEpochZeroAlloc)
 			s.samples = append(s.samples, ibs.Sample{
 				Page: res.Page, Off: off, Thread: t, Core: core,
 				AccessorNode: topo.NodeID(src), HomeNode: res.Node, DRAM: true,
@@ -381,9 +382,11 @@ func (e *Engine) resolveDraw(s *threadScratch, ri int32, t int, core topo.CoreID
 	}
 	res, fcost := s.resolveFault(br.VM, ri, core, off)
 	if fcost > 0 {
+		//lpnuma:alloc-ok scratch append; faults drain each epoch and capacity stabilizes
 		s.faultLog = append(s.faultLog, accessRec{off: off, cost: fcost, region: ri})
 	}
 	if st == vm.PeekUnmappedChunk {
+		//lpnuma:alloc-ok scratch append; drains each epoch like faultLog
 		s.acctLog = append(s.acctLog, accessRec{off: off, region: ri})
 	}
 	return res, fcost

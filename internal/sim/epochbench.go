@@ -67,10 +67,12 @@ func BenchAnalyticEpoch(machine *topo.Machine, spec workloads.Spec, os OS, cfg C
 		e.epochQuiet = false
 	}
 	timed := func(full, quiet bool) float64 {
+		//lpnuma:wallclock-ok epoch wall-time benchmark: host time is the measurement, not a simulation input
 		start := time.Now()
 		for r := 0; r < reps; r++ {
 			price(full, quiet)
 		}
+		//lpnuma:wallclock-ok same measurement as above
 		return time.Since(start).Seconds() / float64(reps)
 	}
 	price(false, false) // warm scratch capacity and memos

@@ -1009,6 +1009,8 @@ func (e *Engine) priceAll(epoch int, epochCycles float64, assess tlb.Assessment,
 // configured mode. Both implementations share the contract documented on
 // priceSteady: read only the epoch snapshot and per-thread state, write
 // only per-thread scratch plus commutative access accounting.
+//
+//lpnuma:noalloc steady-state epochs run once per simulated quantum; TestSteadyEpochZeroAlloc and TestAnalyticEpochZeroAlloc enforce this at runtime
 func (e *Engine) priceThread(t, epoch int, epochCycles float64, assess tlb.Assessment, shared bool) {
 	if e.cfg.Mode == ModeAnalytic {
 		e.priceAnalytic(t, epoch, epochCycles, assess, shared)
@@ -1112,10 +1114,12 @@ func (e *Engine) priceSteady(t, epoch int, epochCycles float64, assess tlb.Asses
 			res, fcost = s.resolveFault(br.VM, int32(acc.RegionIdx), core, acc.Off)
 			if fcost > 0 {
 				faultDirect += fcost
+				//lpnuma:alloc-ok scratch append; capacity stabilizes after warm-up (TestSteadyEpochZeroAlloc)
 				s.faultLog = append(s.faultLog, accessRec{off: acc.Off, cost: fcost, region: int32(acc.RegionIdx)})
 			}
 			if st == vm.PeekUnmappedChunk {
 				// Accounting granularity is decided by the fault replay.
+				//lpnuma:alloc-ok scratch append; drains each epoch like faultLog
 				s.acctLog = append(s.acctLog, accessRec{off: acc.Off, region: int32(acc.RegionIdx)})
 			}
 		}
@@ -1175,6 +1179,7 @@ func (e *Engine) priceSteady(t, epoch int, epochCycles float64, assess tlb.Asses
 				remote++
 			}
 			if rng.Bernoulli(e.cfg.IBS.RecordRate) {
+				//lpnuma:alloc-ok scratch append; capacity stabilizes after warm-up (TestSteadyEpochZeroAlloc)
 				s.samples = append(s.samples, ibs.Sample{
 					Page: res.Page, Off: acc.Off, Thread: t, Core: core,
 					AccessorNode: topo.NodeID(src), HomeNode: res.Node, DRAM: true,
@@ -1277,6 +1282,7 @@ func (s *threadScratch) resolveFault(r *vm.Region, ri int32, core topo.CoreID, o
 	if size == mem.Size2M {
 		psub, pageSub = -1, -1
 	}
+	//lpnuma:alloc-ok scratch append; pending faults drain each epoch and capacity stabilizes
 	s.pendFaults = append(s.pendFaults, pendingFault{region: ri, ci: ci, sub: psub, node: node})
 	return vm.AccessResult{Node: node, PageSize: size,
 		Page:    vm.PageID{Region: r, Chunk: int(ci), Sub: pageSub},

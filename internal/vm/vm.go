@@ -428,9 +428,12 @@ const (
 // mutations are never performed here: unmapped pages are reported via
 // the status and replayed later, in thread order, through ApplyFault and
 // RecordAccess.
+//
+//lpnuma:noalloc runs once per pricing sample across every worker; any allocation here serializes on the heap
 func (r *Region) PeekRecord(off uint64, thread int, shared bool) (AccessResult, PeekStatus) {
 	ci := int(off >> chunkShift)
 	if ci >= len(r.chunks) {
+		//lpnuma:alloc-ok panic path: the process is already dead
 		panic(fmt.Sprintf("vm: offset %d beyond region %s (%d bytes)", off, r.Name, r.Bytes))
 	}
 	c := &r.chunks[ci]
@@ -550,6 +553,8 @@ func (r *Region) ApplyFault(core topo.CoreID, off uint64, cost float64) {
 // RecordAccess records ground-truth accounting for a deferred access at
 // the page's current mapping granularity (the replay half of PeekRecord's
 // unmapped-chunk case).
+//
+//lpnuma:noalloc runs once per deferred access on the epoch hot path
 func (r *Region) RecordAccess(off uint64, thread int) {
 	r.recordAccess(int(off>>chunkShift), off, thread)
 }

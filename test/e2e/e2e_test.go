@@ -368,9 +368,9 @@ func TestServeSlowClientDoesNotWedge(t *testing.T) {
 	fmt.Fprintf(stalled, "POST /v1/run HTTP/1.1\r\nHost: x\r\nContent-Type: application/json\r\nContent-Length: 1000\r\n\r\n{")
 	// Healthy clients keep being served meanwhile.
 	for i := 0; i < 3; i++ {
-		resp, err := http.Get(base + "/v1/healthz")
-		if err != nil {
-			t.Fatalf("daemon wedged by stalled client: %v", err)
+		resp, getErr := http.Get(base + "/v1/healthz")
+		if getErr != nil {
+			t.Fatalf("daemon wedged by stalled client: %v", getErr)
 		}
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
