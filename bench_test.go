@@ -190,7 +190,7 @@ func BenchmarkAblationIBSBuffers(b *testing.B) {
 	mk := func(nodes int) *ibs.Sampler {
 		s := ibs.NewSampler(ibs.DefaultConfig(), nodes)
 		for i := 0; i < 100000; i++ {
-			s.Record(ibs.Sample{AccessorNode: topo.NodeID(i % nodes), DRAM: true, Weight: 1})
+			s.Record(ibs.Sample{AccessorNode: uint8(i % nodes), DRAM: true, Weight: 1})
 		}
 		return s
 	}
@@ -275,7 +275,7 @@ func BenchmarkGroupSamples(b *testing.B) {
 	for i := range samples {
 		samples[i] = ibs.Sample{
 			Page:         vm.PageID{Region: r, Chunk: rng.Intn(32), Sub: -1},
-			AccessorNode: topo.NodeID(rng.Intn(4)),
+			AccessorNode: uint8(rng.Intn(4)),
 			DRAM:         true, Weight: 1,
 		}
 	}

@@ -31,7 +31,14 @@ import (
 //	    "analytic-incremental", with baseline_wall_seconds and speedup
 //	    for the incremental engine of DESIGN.md §4.10). BENCH_serve.json
 //	    stays a single object at this same version.
-const benchSchemaVersion = 5
+//	6 — adds the per-phase wall breakdown (phase_alloc_seconds,
+//	    phase_price_seconds, phase_merge_seconds, phase_daemon_seconds):
+//	    cumulative engine wall time in the allocation-fault, parallel
+//	    pricing, serial merge, and policy-daemon phases across every
+//	    simulation the report's suite ran (DESIGN.md §4.11). The phase
+//	    sum is less than wall_seconds — setup, census, and reporting
+//	    live outside the four phases.
+const benchSchemaVersion = 6
 
 // benchReport is the machine-readable result of `lpnuma bench`, written
 // as JSON so successive PRs accumulate a perf trajectory
@@ -70,6 +77,31 @@ type benchReport struct {
 	// both fields.
 	BaselineWallSeconds float64 `json:"baseline_wall_seconds,omitempty"`
 	Speedup             float64 `json:"speedup,omitempty"`
+	// Per-phase engine wall breakdown (schema 6): where the suite's
+	// simulation time actually went, summed over every engine run.
+	PhaseAllocSeconds  float64 `json:"phase_alloc_seconds"`
+	PhasePriceSeconds  float64 `json:"phase_price_seconds"`
+	PhaseMergeSeconds  float64 `json:"phase_merge_seconds"`
+	PhaseDaemonSeconds float64 `json:"phase_daemon_seconds"`
+}
+
+// setPhases copies a phase-wall snapshot delta into the report fields.
+func (r *benchReport) setPhases(w lpnuma.PhaseWall) {
+	r.PhaseAllocSeconds = w.AllocSeconds
+	r.PhasePriceSeconds = w.PriceSeconds
+	r.PhaseMergeSeconds = w.MergeSeconds
+	r.PhaseDaemonSeconds = w.DaemonSeconds
+}
+
+// phaseDelta subtracts two snapshots, isolating one suite's share of the
+// process-wide accumulators.
+func phaseDelta(after, before lpnuma.PhaseWall) lpnuma.PhaseWall {
+	return lpnuma.PhaseWall{
+		AllocSeconds:  after.AllocSeconds - before.AllocSeconds,
+		PriceSeconds:  after.PriceSeconds - before.PriceSeconds,
+		MergeSeconds:  after.MergeSeconds - before.MergeSeconds,
+		DaemonSeconds: after.DaemonSeconds - before.DaemonSeconds,
+	}
 }
 
 // benchExperiment is one experiment's share of the pass.
@@ -235,6 +267,9 @@ func runBench(args []string, stdout, stderr io.Writer) (retErr error) {
 		Policies:      len(lpnuma.Policies()),
 		NumExps:       len(lpnuma.Experiments()),
 	}
+	lpnuma.ResetPhaseWall()
+	lpnuma.SetPhaseTracking(true)
+	defer lpnuma.SetPhaseTracking(false)
 	start := time.Now()
 	var total runcache.Stats
 	for _, id := range lpnuma.Experiments() {
@@ -257,11 +292,16 @@ func runBench(args []string, stdout, stderr io.Writer) (retErr error) {
 	if rep.WallSeconds > 0 {
 		rep.CellsPerSecond = float64(rep.Runs) / rep.WallSeconds
 	}
+	sweepPhases := lpnuma.PhaseWallSnapshot()
+	rep.setPhases(sweepPhases)
+	fmt.Fprintf(stderr, "bench phases: alloc %.3fs, price %.3fs, merge %.3fs, daemon %.3fs\n",
+		sweepPhases.AllocSeconds, sweepPhases.PriceSeconds, sweepPhases.MergeSeconds, sweepPhases.DaemonSeconds)
 
 	incRep, err := incrementalBench(*seed)
 	if err != nil {
 		return err
 	}
+	incRep.setPhases(phaseDelta(lpnuma.PhaseWallSnapshot(), sweepPhases))
 	fmt.Fprintf(stderr, "bench analytic-incremental: %s epoch %.1fµs quiescent vs %.1fµs full recompute (%.1fx)\n",
 		incRep.Bench, incRep.Experiments[1].WallSeconds*1e6, incRep.BaselineWallSeconds*1e6, incRep.Speedup)
 

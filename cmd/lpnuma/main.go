@@ -152,9 +152,14 @@ func (p *profileFlags) start() (stop func() error, err error) {
 			cpuFile.Close()
 			return nil, err
 		}
+		// Tag engine goroutines with their current epoch phase so the
+		// profile can be sliced per phase:
+		//   go tool pprof -tagfocus=lpnuma_phase=alloc cpu.pprof
+		sim.SetPhaseLabels(true)
 	}
 	return func() error {
 		if cpuFile != nil {
+			sim.SetPhaseLabels(false)
 			pprof.StopCPUProfile()
 			if err := cpuFile.Close(); err != nil {
 				return err

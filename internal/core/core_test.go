@@ -63,8 +63,8 @@ func s2m(r *vm.Region, chunk, thread int, node topo.NodeID, off uint64) ibs.Samp
 	return ibs.Sample{
 		Page:   vm.PageID{Region: r, Chunk: chunk, Sub: -1},
 		Off:    uint64(chunk)*uint64(mem.Size2M) + off,
-		Thread: thread, Core: topo.CoreID(thread),
-		AccessorNode: node, HomeNode: r.ChunkInfo(chunk).Node,
+		Thread: int32(thread), Core: int32(thread),
+		AccessorNode: uint8(node), HomeNode: uint8(r.ChunkInfo(chunk).Node),
 		DRAM: true, Weight: 1,
 	}
 }

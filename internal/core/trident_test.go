@@ -23,8 +23,8 @@ func s1g(r *vm.Region, head, thread int, node topo.NodeID, off uint64) ibs.Sampl
 	return ibs.Sample{
 		Page:   vm.PageID{Region: r, Chunk: head, Sub: -1},
 		Off:    off,
-		Thread: thread, Core: topo.CoreID(thread),
-		AccessorNode: node, HomeNode: r.ChunkInfo(head).Node,
+		Thread: int32(thread), Core: int32(thread),
+		AccessorNode: uint8(node), HomeNode: uint8(r.ChunkInfo(head).Node),
 		DRAM: true, Weight: 1,
 	}
 }

@@ -14,13 +14,19 @@ package ibs
 
 import (
 	"repro/internal/stats"
-	"repro/internal/topo"
 	"repro/internal/vm"
 )
 
 // Sample is one IBS record. Policies must base decisions only on the
 // fields here — this is the hardware-visible view, as opposed to the
 // simulator's ground truth.
+//
+// The narrow integer fields are deliberate: tens of millions of samples
+// flow through per-thread pending buffers, the per-node rings, and
+// Drain's merge every run, so the struct is packed to 56 bytes (from a
+// naive 80) to cut the copy and buffer-growth traffic. The widths are
+// not a practical limit — IBS hardware tags a sample with one core and
+// one node, and no machine model approaches 2^31 cores or 256 nodes.
 type Sample struct {
 	// Page is the backing page of the sampled access at its mapping
 	// granularity (IBS reports a virtual address; the kernel resolves it).
@@ -29,21 +35,21 @@ type Sample struct {
 	// re-map a sample onto hypothetical 4 KB sub-pages (the reactive
 	// component's what-if splitting estimate needs this).
 	Off uint64
+	// Weight is the number of real accesses this sample statistically
+	// represents (simulation artifact; treated as a sample multiplicity).
+	Weight float64
 	// Thread is the accessing software thread.
-	Thread int
+	Thread int32
 	// Core is the accessing core.
-	Core topo.CoreID
+	Core int32
 	// AccessorNode is the node of the accessing core.
-	AccessorNode topo.NodeID
+	AccessorNode uint8
 	// HomeNode is the node that served the data.
-	HomeNode topo.NodeID
+	HomeNode uint8
 	// DRAM reports whether the access was serviced from memory rather
 	// than a cache; Carrefour-LP only considers DRAM-serviced samples so
 	// that "decisions are not affected by pages that are easily cached".
 	DRAM bool
-	// Weight is the number of real accesses this sample statistically
-	// represents (simulation artifact; treated as a sample multiplicity).
-	Weight float64
 }
 
 // Local reports whether the sampled access was node-local.
@@ -84,11 +90,45 @@ type Sampler struct {
 	drain   []Sample // reusable merge buffer handed out by Drain
 	dropped uint64
 	taken   uint64
+
+	// Passive mode: no consumer will ever Drain, so samples are not
+	// stored — only the per-node lengths are simulated, so taken/dropped
+	// (and therefore the interrupt overhead and Result counters) stay
+	// bit-identical to a storing sampler that is never drained.
+	passive bool
+	virtLen []int
 }
 
 // NewSampler builds a sampler for a machine with the given node count.
 func NewSampler(cfg Config, nodes int) *Sampler {
 	return &Sampler{Cfg: cfg, buffers: make([][]Sample, nodes)}
+}
+
+// SetPassive declares that nothing will ever Drain this sampler (the
+// policy registered no telemetry consumer): samples are dropped at the
+// door while the per-node buffer lengths are tracked virtually, so the
+// taken/dropped accounting — the only observable a drain-free run has —
+// is exactly that of a storing sampler. Saves the multi-megabyte buffer
+// growth that otherwise builds up to MaxPerNode per node. Calling Drain
+// afterwards panics: a consumer appearing later means the declaration
+// was wrong.
+func (s *Sampler) SetPassive() {
+	s.passive = true
+	if s.virtLen == nil {
+		s.virtLen = make([]int, len(s.buffers))
+	}
+}
+
+// recordPassive simulates one sample arrival in passive mode, mirroring
+// the length-capped store: it reports whether the sample was taken.
+func (s *Sampler) recordPassive(node int) bool {
+	if s.virtLen[node] >= s.Cfg.MaxPerNode {
+		s.dropped++
+		return false
+	}
+	s.virtLen[node]++
+	s.taken++
+	return true
 }
 
 // Maybe samples the described access with probability Cfg.Rate. It returns
@@ -100,6 +140,10 @@ func (s *Sampler) Maybe(rng *stats.Rng, sample Sample) float64 {
 		return 0
 	}
 	node := int(sample.AccessorNode)
+	if s.passive {
+		s.recordPassive(node)
+		return s.Cfg.CyclesPerSample
+	}
 	if len(s.buffers[node]) >= s.Cfg.MaxPerNode {
 		s.dropped++
 		return s.Cfg.CyclesPerSample
@@ -117,6 +161,10 @@ func (s *Sampler) Maybe(rng *stats.Rng, sample Sample) float64 {
 // not modified.
 func (s *Sampler) RecordScaled(sample *Sample, weight float64) {
 	node := int(sample.AccessorNode)
+	if s.passive {
+		s.recordPassive(node)
+		return
+	}
 	b := s.buffers[node]
 	if len(b) >= s.Cfg.MaxPerNode {
 		s.dropped++
@@ -154,6 +202,10 @@ func (s *Sampler) grow(b []Sample) []Sample {
 // stage and by replaying trace data).
 func (s *Sampler) Record(sample Sample) {
 	node := int(sample.AccessorNode)
+	if s.passive {
+		s.recordPassive(node)
+		return
+	}
 	b := s.buffers[node]
 	if len(b) >= s.Cfg.MaxPerNode {
 		s.dropped++
@@ -173,6 +225,9 @@ func (s *Sampler) Record(sample Sample) {
 // multi-megabyte merge buffer is reused instead of reallocated every
 // interval.
 func (s *Sampler) Drain() []Sample {
+	if s.passive {
+		panic("ibs: Drain on a passive sampler — a telemetry consumer exists, so SetPassive must not have been called")
+	}
 	var total int
 	for _, b := range s.buffers {
 		total += len(b)

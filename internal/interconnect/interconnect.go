@@ -151,6 +151,24 @@ func (f *Fabric) Record(src, dst topo.NodeID, count float64) {
 	}
 }
 
+// RecordN charges count requests to every link on the src→dst path times
+// times in a row — the batched equivalent of times Record calls, with
+// each link's load advanced by the same sequence of float additions so
+// the epoch accounting stays byte-identical to the per-call path.
+func (f *Fabric) RecordN(src, dst topo.NodeID, count float64, times int) {
+	if src == dst {
+		return
+	}
+	for _, li := range f.routes[src][dst] {
+		el, tl := f.epochLoad[li], f.totalLoad[li]
+		for i := 0; i < times; i++ {
+			el += count
+			tl += count
+		}
+		f.epochLoad[li], f.totalLoad[li] = el, tl
+	}
+}
+
 // EndEpoch converts this epoch's link loads into next epoch's congestion
 // factors and clears the per-epoch counters.
 func (f *Fabric) EndEpoch(epochCycles float64) {

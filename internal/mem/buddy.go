@@ -72,6 +72,14 @@ type buddyNode struct {
 
 // newBuddyNode tiles bytes of DRAM with the largest aligned free blocks
 // (whole 1 GB blocks for the paper's machines).
+//
+// Nodes are deliberately NOT pooled across simulations: an experiment
+// tried recycling retired nodes' bitmap and live-list backing through a
+// process-wide pool and made whole-pass time ~6% WORSE — the random
+// single-frame accesses of Free/FreeRun are TLB-bound, and fresh
+// mallocgcLarge mappings (which the host kernel backs with transparent
+// huge pages) beat warm-but-fragmented recycled heap pages. Fitting,
+// for this paper.
 func newBuddyNode(bytes uint64) *buddyNode {
 	b := &buddyNode{frames: bytes >> frameShift}
 	b.freeBytes = b.frames << frameShift
@@ -165,8 +173,23 @@ func (b *buddyNode) alloc(o int) (uint64, bool) {
 func (b *buddyNode) release(o int, frame uint64) {
 	b.freeBytes += uint64(Size4K) << uint(o)
 	idx := frame >> uint(o)
-	for o < maxOrder && b.isFree(o, idx^1) {
-		b.clearFree(o, idx^1)
+	// A block and its buddy differ only in bit 0 of the block index, so
+	// both bits live in the same bitmap word: one load serves the buddy
+	// test and (on coalesce) its clear, instead of isFree+clearFree each
+	// re-deriving the word.
+	for o < maxOrder {
+		w := b.bits[o]
+		bi := idx ^ 1
+		if w == nil || bi >= b.blocks(o) {
+			break
+		}
+		word := &w[bi>>6]
+		mask := uint64(1) << (bi & 63)
+		if *word&mask == 0 {
+			break
+		}
+		*word &^= mask
+		b.nfree[o]--
 		idx >>= 1
 		o++
 	}

@@ -165,6 +165,36 @@ func (s *System) Allocate(n topo.NodeID, size PageSize) error {
 	return nil
 }
 
+// AllocateRun reserves count frames of size bytes on node n, exactly as
+// count sequential Allocate calls would — each iteration re-checks free
+// bytes, takes one block from the buddy and registers it live — stopping
+// at the first failure and returning how many frames were reserved. The
+// batched allocation-fault path (vm.ApplyAllocFault4KRun) commits a whole
+// span of first-touches through one call here; because the per-frame
+// state transitions are the per-call sequence replayed, the buddy is left
+// byte-identical to the per-page path.
+func (s *System) AllocateRun(n topo.NodeID, size PageSize, count int) int {
+	if !size.Valid() {
+		return 0
+	}
+	b := s.nodes[n]
+	o := orderOf(size)
+	c := sizeClass(size)
+	done := 0
+	for done < count {
+		if uint64(size) > b.freeBytes {
+			break
+		}
+		frame, ok := b.alloc(o)
+		if !ok {
+			break
+		}
+		b.live[c] = append(b.live[c], uint32(frame>>uint(o)))
+		done++
+	}
+	return done
+}
+
 // Free releases one live frame of size bytes on node n, coalescing it
 // with free buddies. The caller identifies frames by (node, size) only,
 // so Free picks the released block pseudo-randomly among the node's live
@@ -187,6 +217,65 @@ func (s *System) Free(n topo.NodeID, size PageSize) error {
 	l[i] = l[len(l)-1]
 	b.live[c] = l[:len(l)-1]
 	b.release(orderOf(size), idx<<uint(orderOf(size)))
+	return nil
+}
+
+// FreeRun releases count live frames of size bytes on node n, exactly
+// as count sequential Free calls would: the same LCG draws pick the
+// same victims from the same evolving live list, and each frame
+// coalesces before the next draw. Replaying the sequence in one tight
+// loop matters because the random pick makes every iteration a cache
+// miss into a multi-megabyte live list — hoisted locals and a call-free
+// loop let those misses overlap instead of serializing through the call
+// boundary (event-timeline unmaps free hundreds of thousands of frames
+// per event). Stops at the first over-free, returning ErrOverFree with
+// the allocator state exactly as the failing per-call sequence leaves
+// it.
+func (s *System) FreeRun(n topo.NodeID, size PageSize, count int) error {
+	if !size.Valid() {
+		return fmt.Errorf("mem: invalid page size %d", uint64(size))
+	}
+	b := s.nodes[n]
+	c := sizeClass(size)
+	o := orderOf(size)
+	rng := s.rng
+	l := b.live[c]
+	// Victim extraction (random live-list swaps) and block release
+	// (buddy-bitmap coalescing) touch disjoint state, so the interleaved
+	// per-call sequence can be split into two tight loops per batch with
+	// bit-identical results. Each loop is then a run of independent
+	// random-address accesses — the extraction loop's next address
+	// depends only on the LCG and the release loop's only on the staged
+	// victim — so the cache misses overlap instead of serializing
+	// extract→release→extract.
+	var victims [256]uint32
+	for count > 0 {
+		batch := count
+		if batch > len(victims) {
+			batch = len(victims)
+		}
+		if batch > len(l) {
+			batch = len(l)
+		}
+		for k := 0; k < batch; k++ {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			i := int((rng >> 33) % uint64(len(l)))
+			victims[k] = l[i]
+			l[i] = l[len(l)-1]
+			l = l[:len(l)-1]
+		}
+		for k := 0; k < batch; k++ {
+			b.release(o, uint64(victims[k])<<uint(o))
+		}
+		count -= batch
+		if count > 0 && len(l) == 0 {
+			s.rng = rng
+			b.live[c] = l
+			return fmt.Errorf("%w: no live %s frame on node %d", ErrOverFree, size, n)
+		}
+	}
+	s.rng = rng
+	b.live[c] = l
 	return nil
 }
 
@@ -219,6 +308,20 @@ func (s *System) FreeContiguous(n topo.NodeID, size PageSize) bool {
 func (s *System) Record(n topo.NodeID, count float64) {
 	s.epochReq[n] += count
 	s.totalReq[n] += count
+}
+
+// RecordN charges count requests to node n's controller times times in a
+// row — the batched equivalent of times Record calls. The accumulators
+// advance by the same sequence of float additions as the per-call path,
+// so the epoch totals stay byte-identical; hoisting them into locals just
+// keeps the loop in registers.
+func (s *System) RecordN(n topo.NodeID, count float64, times int) {
+	er, tr := s.epochReq[n], s.totalReq[n]
+	for i := 0; i < times; i++ {
+		er += count
+		tr += count
+	}
+	s.epochReq[n], s.totalReq[n] = er, tr
 }
 
 // Latency returns the cycles a DRAM request to node n costs in the current

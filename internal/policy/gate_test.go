@@ -1,0 +1,73 @@
+package policy_test
+
+// Gate equivalence for due-gated hooks (DESIGN.md §4.11). EveryDue's
+// contract is that a hook whose gate reports false would be a pure
+// no-op if it ran anyway — that is what lets Pipeline.NextDaemonDue
+// drop gated-off hooks from the daemon schedule and the engine treat
+// the epoch as quiescent. Pipeline.ForceGatedHooks runs every gated-off
+// hook regardless, so any gate that hides real work (a khugepaged scan
+// that would have promoted, a sampler drain that would have migrated)
+// surfaces as a byte difference between the two runs.
+
+import (
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/workloads"
+)
+
+// runGated runs one policy with or without forced gated hooks.
+func runGated(t *testing.T, pol string, mode sim.Mode, force bool) sim.Result {
+	t.Helper()
+	spec, err := workloads.ByName("UA.B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	os, err := policy.ByName(pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl, ok := os.(*policy.Pipeline); ok {
+		pl.ForceGatedHooks = force
+	} else if force {
+		t.Fatalf("policy %s is not a Pipeline; cannot force its gated hooks", pol)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.WorkScale = 0.05
+	cfg.Mode = mode
+	eng, err := sim.New(topo.MachineA(), spec, os, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Run()
+	if res.TimedOut {
+		t.Fatalf("%s timed out", pol)
+	}
+	return res
+}
+
+// TestGatedHooksAreNoOpsWhenNotDue proves the EveryDue contract for
+// every registered policy in both engine modes: forcing gated-off hooks
+// to run changes nothing, byte for byte.
+func TestGatedHooksAreNoOpsWhenNotDue(t *testing.T) {
+	for _, pol := range policy.Names() {
+		pol := pol
+		for _, mode := range []sim.Mode{sim.ModeAnalytic, sim.ModeSampled} {
+			mode := mode
+			name := pol + "/analytic"
+			if mode == sim.ModeSampled {
+				name = pol + "/sampled"
+			}
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				ref := runGated(t, pol, mode, false)
+				forced := runGated(t, pol, mode, true)
+				if forced != ref {
+					t.Errorf("forcing gated-off hooks changed the result:\n forced: %+v\n normal: %+v", forced, ref)
+				}
+			})
+		}
+	}
+}

@@ -33,7 +33,11 @@ func (m pageSize) Install(env *sim.Env, pl *Pipeline) {
 	t := thp.New(env.Space, cfg, env.Costs)
 	env.THP = t
 	pl.thpSys = t
-	pl.Every("khugepaged", 0, func(*sim.Env, float64) float64 {
+	// Dirty-gated: the pass is a contractual no-op while PendingWork is
+	// false (switches off, or a clean scan's fingerprint still matches),
+	// so the hook neither fires nor pins NextDaemonDue then — THP-family
+	// pipelines can prove quiet windows once promotion work drains.
+	pl.EveryDue("khugepaged", 0, t.PendingWork, func(*sim.Env, float64) float64 {
 		return t.RunPromotionPass()
 	})
 }
@@ -77,6 +81,7 @@ func (placement) Describe() string { return "placement: Carrefour daemon" }
 func (m placement) Install(env *sim.Env, pl *Pipeline) {
 	car := carrefour.New(m.cfg)
 	pl.car = car
+	pl.NeedsTelemetry()
 	pl.Every("carrefour", m.cfg.IntervalSeconds, func(env *sim.Env, now float64) float64 {
 		return car.TickWith(env, pl.View(env, now))
 	})
@@ -101,6 +106,7 @@ func (m lpControl) Install(env *sim.Env, pl *Pipeline) {
 	lp.Bind(pl.thpSys)
 	pl.car = car
 	pl.lp = lp
+	pl.NeedsTelemetry()
 	pl.Every("carrefour-lp", lp.Cfg.IntervalSeconds, func(env *sim.Env, now float64) float64 {
 		return lp.TickWith(env, pl.View(env, now))
 	})
@@ -120,6 +126,7 @@ func (m tridentLadder) Install(env *sim.Env, pl *Pipeline) {
 	tr.Bind(pl.thpSys)
 	pl.car = car
 	pl.trident = tr
+	pl.NeedsTelemetry()
 	pl.Every("trident", m.cfg.IntervalSeconds, func(env *sim.Env, now float64) float64 {
 		return tr.TickWith(env, pl.View(env, now))
 	})
@@ -170,6 +177,7 @@ func (m pageTables) Install(env *sim.Env, pl *Pipeline) {
 	if m.mode != PTMigrate {
 		return
 	}
+	pl.NeedsTelemetry()
 	pl.Every("pt-migrate", m.intervalSeconds, func(env *sim.Env, now float64) float64 {
 		return migratePageTables(env, pl.View(env, now), m.walkSharePct, m.minGainPct)
 	})

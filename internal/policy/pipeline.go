@@ -28,7 +28,13 @@ type hook struct {
 	name   string
 	period float64 // seconds; <= 0 means every epoch
 	last   float64
-	fn     func(env *sim.Env, now float64) float64
+	// due, when non-nil, gates the hook on pending work: a hook whose due
+	// reports false neither fires in Tick nor pins NextDaemonDue. The
+	// registrar promises that running the hook while due is false would
+	// be a pure no-op (zero cycles, no observable state change), which is
+	// what makes skipping it byte-identical.
+	due func() bool
+	fn  func(env *sim.Env, now float64) float64
 }
 
 // Pipeline assembles mechanisms into one sim.OS. Mechanisms install in
@@ -52,6 +58,18 @@ type Pipeline struct {
 	car     *carrefour.Carrefour
 	lp      *core.LP
 	trident *core.Trident
+
+	// needsTel is set by mechanisms that consume the shared telemetry
+	// view; without any such consumer the IBS sampler runs passively
+	// (exact taken/dropped accounting, no sample storage).
+	needsTel bool
+
+	// ForceGatedHooks is a debug knob for the gate-equivalence tests: Tick
+	// runs due-gated hooks even when their gate reports false, while
+	// NextDaemonDue still honors the gates. Because gated-off hooks must
+	// be pure no-ops, a run with this knob set is byte-identical to a
+	// normal one — which is exactly what the tests prove.
+	ForceGatedHooks bool
 }
 
 // NewPipeline assembles a named pipeline from mechanisms.
@@ -72,9 +90,15 @@ func (p *Pipeline) Mechanisms() []string {
 }
 
 // Setup implements sim.OS: every mechanism installs in declared order.
+// If no mechanism declared a telemetry consumer, nothing will ever
+// drain the IBS buffers, so the sampler switches to passive accounting
+// (identical taken/dropped, no sample storage).
 func (p *Pipeline) Setup(env *sim.Env) {
 	for _, m := range p.mechs {
 		m.Install(env, p)
+	}
+	if !p.needsTel {
+		env.Sampler.SetPassive()
 	}
 }
 
@@ -86,6 +110,21 @@ func (p *Pipeline) Every(name string, periodSeconds float64, fn func(env *sim.En
 	p.hooks = append(p.hooks, hook{name: name, period: periodSeconds, last: -1e18, fn: fn})
 }
 
+// EveryDue registers a periodic hook with a pending-work gate: the hook
+// fires only when both its period has elapsed and due() reports true,
+// and a gated-off hook does not pin NextDaemonDue. The caller must
+// guarantee that fn would be a pure no-op whenever due() is false —
+// that invariant is what lets the engine treat a gated-off hook as
+// absent (and is enforced by the ForceGatedHooks equivalence tests).
+func (p *Pipeline) EveryDue(name string, periodSeconds float64, due func() bool, fn func(env *sim.Env, now float64) float64) {
+	p.hooks = append(p.hooks, hook{name: name, period: periodSeconds, last: -1e18, due: due, fn: fn})
+}
+
+// NeedsTelemetry declares that an installed mechanism consumes the
+// shared telemetry view (pl.View). Pipelines where no mechanism calls
+// this never drain the IBS sampler, so Setup puts it in passive mode.
+func (p *Pipeline) NeedsTelemetry() { p.needsTel = true }
+
 // Tick implements sim.OS: due hooks run in registration order and their
 // overhead cycles are summed.
 func (p *Pipeline) Tick(env *sim.Env, now float64) float64 {
@@ -93,6 +132,9 @@ func (p *Pipeline) Tick(env *sim.Env, now float64) float64 {
 	for i := range p.hooks {
 		h := &p.hooks[i]
 		if h.period > 0 && now-h.last < h.period {
+			continue
+		}
+		if h.due != nil && !h.due() && !p.ForceGatedHooks {
 			continue
 		}
 		h.last = now
@@ -106,12 +148,18 @@ func (p *Pipeline) Tick(env *sim.Env, now float64) float64 {
 // hook deadline. The due test reuses Tick's exact firing gate
 // (now-last >= period) so the engine's quiescence decision and the
 // hook's firing decision can never disagree, even at floating-point
-// boundary cases. Every-epoch hooks (period <= 0, e.g. khugepaged) are
-// always due, so pipelines carrying one never report a quiet window.
+// boundary cases. Every-epoch hooks (period <= 0) are always due —
+// unless they carry a pending-work gate reporting false, in which case
+// the hook is a contractual no-op and does not pin the schedule. That
+// gate is how THP-family pipelines (whose khugepaged hook used to pin
+// them always-due) prove quiet windows once promotion work drains.
 func (p *Pipeline) NextDaemonDue(now float64) float64 {
 	next := math.Inf(1)
 	for i := range p.hooks {
 		h := &p.hooks[i]
+		if h.due != nil && !h.due() {
+			continue
+		}
 		if h.period <= 0 || now-h.last >= h.period {
 			return now
 		}

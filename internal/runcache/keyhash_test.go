@@ -24,6 +24,10 @@ var excludedKeyFields = map[string]bool{
 	// TestIncrementalMatchesFullRecompute), so like the parallelism knobs
 	// it must not split the cache.
 	"FullRecompute": true,
+	// PerPageAlloc likewise selects between the batched and per-page
+	// allocation paths, which are byte-identity-equivalent by contract
+	// (DESIGN.md §4.11, enforced by TestBatchedAllocMatchesPerPage).
+	"PerPageAlloc": true,
 }
 
 // TestKeyCoversEveryConfigField walks every leaf field of sim.Config by

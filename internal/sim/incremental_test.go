@@ -46,6 +46,10 @@ func incrementalMatrix() []incCell {
 		// its float fixed point, so quiescent epochs actually occur and
 		// the deferred census/thinning path is exercised end to end.
 		{machine: "B", pol: "PTBaseline", workload: "CG.D", workScale: 1.0, wantQuiet: true},
+		// THP at full scale: the khugepaged hook is due-gated on pending
+		// promotion work (its Region.Gen fingerprint), so a THP-family
+		// pipeline must also prove quiet windows once promotions drain.
+		{machine: "A", pol: "THP", workload: "SSCA.20", workScale: 1.0, wantQuiet: true},
 		{machine: "A", pol: "THP", spec: &churn, workload: churn.Name, workScale: 0.05},
 		{machine: "A", pol: "TridentLP", spec: &free, workload: free.Name, workScale: 0.05},
 	}

@@ -93,6 +93,17 @@ type Config struct {
 	// ModeSampled ignores it.
 	FullRecompute bool
 
+	// PerPageAlloc is the batched allocation path's FullRecompute
+	// analogue (DESIGN.md §4.11): it forces the allocation phase to fault
+	// every page individually through vm.Access instead of committing
+	// spans of same-(chunk, node, size) first-touches in one batched
+	// operation. The batched path replays the per-touch arithmetic
+	// exactly — same float-addition sequences per accumulator, same buddy
+	// transactions — so results are byte-identical with the switch on or
+	// off (TestBatchedAllocMatchesPerPage), and the field is excluded
+	// from runcache's content address.
+	PerPageAlloc bool
+
 	// Workers caps the intra-run worker count of the parallel pricing
 	// stage: 0 selects the host parallelism (or defers to Pool when one
 	// is attached), 1 forces serial pricing. Results are byte-identical
@@ -520,16 +531,19 @@ func New(m *topo.Machine, spec workloads.Spec, policy OS, cfg Config) (*Engine, 
 		// page-table aggregates exist exactly when PT pricing is on.
 		for t := range e.ts {
 			g := &threadGeom{
-				key:      invalidMemoKey,
-				appKey:   invalidMemoKey,
-				homeAgg:  make([]float64, e.nodes),
-				homeCnt:  make([]float64, e.nodes),
-				thinRate: make([]float64, len(wl.Regions)),
-				churnW:   make([]float64, len(e.churnRIs)),
+				key:       invalidMemoKey,
+				appKey:    invalidMemoKey,
+				flushKey:  invalidMemoKey,
+				homeAgg:   make([]float64, e.nodes),
+				homeCnt:   make([]float64, e.nodes),
+				physFlush: make([]float64, e.nodes),
+				thinRate:  make([]float64, len(wl.Regions)),
+				churnW:    make([]float64, len(e.churnRIs)),
 			}
 			if e.ptHome != nil {
 				g.wPTHome = make([]float64, e.nodes)
 				g.walkCnt = make([]float64, e.nodes)
+				g.walkFlush = make([]float64, e.nodes)
 			}
 			e.ts[t].geom = g
 		}
@@ -867,7 +881,9 @@ func (e *Engine) runEpoch(epoch int, epochCycles float64) bool {
 		e.stolen[t] = 0
 	}
 
+	pt := phaseEnter(phaseAlloc)
 	allocsRan := e.runAllocRounds(epoch, budgets)
+	phaseExit(phaseAlloc, pt)
 
 	// Initialization barrier: steady-state work starts only once every
 	// thread has finished its allocation phase, as in the real programs.
@@ -911,10 +927,13 @@ func (e *Engine) runEpoch(epoch int, epochCycles float64) bool {
 		}
 		// Stage 1 (parallel): price every runnable thread's epoch against
 		// the shared read-only snapshot, into per-thread scratch.
+		pt = phaseEnter(phasePrice)
 		e.priceAll(epoch, epochCycles, assess, nrun)
+		phaseExit(phasePrice, pt)
 		// Stage 2 (serial, in thread order): replay the deferred
 		// mutations into the shared models. The fixed order makes the
 		// result independent of how stage 1 was scheduled.
+		pt = phaseEnter(phaseMerge)
 		for t := 0; t < e.threads; t++ {
 			if !e.ts[t].ran {
 				continue
@@ -924,12 +943,15 @@ func (e *Engine) runEpoch(epoch int, epochCycles float64) bool {
 				done = false
 			}
 		}
+		phaseExit(phaseMerge, pt)
 	}
 	e.env.Phys.EndEpoch(epochCycles)
 	e.env.Fabric.EndEpoch(epochCycles)
 	e.nowCycles += epochCycles
 	now := e.nowCycles / e.machine.FreqHz
+	pt = phaseEnter(phaseDaemon)
 	oh := e.os.Tick(e.env, now)
+	phaseExit(phaseDaemon, pt)
 	if oh > 0 {
 		e.overhead += oh
 		per := oh / float64(e.threads)
@@ -1181,8 +1203,8 @@ func (e *Engine) priceSteady(t, epoch int, epochCycles float64, assess tlb.Asses
 			if rng.Bernoulli(e.cfg.IBS.RecordRate) {
 				//lpnuma:alloc-ok scratch append; capacity stabilizes after warm-up (TestSteadyEpochZeroAlloc)
 				s.samples = append(s.samples, ibs.Sample{
-					Page: res.Page, Off: acc.Off, Thread: t, Core: core,
-					AccessorNode: topo.NodeID(src), HomeNode: res.Node, DRAM: true,
+					Page: res.Page, Off: acc.Off, Thread: int32(t), Core: int32(core),
+					AccessorNode: uint8(src), HomeNode: uint8(res.Node), DRAM: true,
 				})
 			}
 		}
@@ -1315,6 +1337,52 @@ func (e *Engine) mergeSteady(t int) {
 	}
 	scale := s.scale
 	src := e.machine.NodeOf(core)
+	if g := s.geom; g != nil && !e.cfg.FullRecompute {
+		// Incremental merge accounting (DESIGN.md §4.11): the scaled flush
+		// products are keyed on (appKey, scale) — in a converged stretch
+		// both are unchanged and the thread replays its memoized delta.
+		// The skip test stays on the unscaled counts, exactly like the
+		// recompute path below.
+		if g.appKey != g.flushKey || scale != g.flushScale {
+			for h, cnt := range s.homeCnt {
+				g.physFlush[h] = cnt * scale
+			}
+			for h, cnt := range s.walkCnt {
+				g.walkFlush[h] = cnt * scale
+			}
+			g.localX, g.remoteX = s.local*scale, s.remote*scale
+			g.dataL2X, g.ptwL2X = s.dataL2*scale, s.ptwL2*scale
+			g.tlbMissX, g.churnX = s.tlbMiss*scale, s.churn*scale
+			g.flushKey, g.flushScale = g.appKey, scale
+		}
+		for h, cnt := range s.homeCnt {
+			if cnt == 0 {
+				continue
+			}
+			home := topo.NodeID(h)
+			e.env.Phys.Record(home, g.physFlush[h])
+			e.env.Fabric.Record(src, home, g.physFlush[h])
+		}
+		for h, cnt := range s.walkCnt {
+			if cnt == 0 {
+				continue
+			}
+			home := topo.NodeID(h)
+			e.env.Phys.Record(home, g.walkFlush[h])
+			e.env.Fabric.Record(src, home, g.walkFlush[h])
+		}
+		for i := range s.samples {
+			e.env.Sampler.RecordScaled(&s.samples[i], scale)
+		}
+		e.counters.Accesses += s.realAccesses
+		e.counters.LocalDRAM += g.localX
+		e.counters.RemoteDRAM += g.remoteX
+		e.counters.DataL2Misses += g.dataL2X
+		e.counters.PTWL2Misses += g.ptwL2X
+		e.counters.TLBMisses += g.tlbMissX
+		e.churnFault[core] += g.churnX
+		return
+	}
 	for h, cnt := range s.homeCnt {
 		if cnt == 0 {
 			continue
@@ -1373,38 +1441,12 @@ func (e *Engine) runAllocRounds(epoch int, budgets []float64) bool {
 		round++
 		next := active[:0]
 		for _, t := range active {
-			var spent float64
 			src := int(e.machine.NodeOf(e.core(t)))
 			latRow := e.lat[src*e.nodes : (src+1)*e.nodes]
-			for spent < e.cfg.AllocRoundCycles {
-				if budgets[t] <= 0 || allocCount[t] >= e.cfg.MaxAllocPerEpoch {
-					break
-				}
-				touch, ok := e.wl.NextAlloc(t)
-				if !ok {
-					break
-				}
-				allocCount[t]++
-				res := touch.Region.VM.Access(e.core(t), t, touch.Off)
-				node := res.Node
-				// Initialization is a streaming write pass: one DRAM line
-				// fill per 8 accesses.
-				const dramFrac = 0.125
-				lat := latRow[node]
-				per := 4 + dramFrac*lat*(1-e.wl.Spec.MLPOverlap)
-				cost := res.FaultCycles + touch.Weight*per
-				budgets[t] -= cost
-				spent += cost
-				reqs := touch.Weight * dramFrac
-				e.env.Phys.Record(node, reqs)
-				e.env.Fabric.Record(topo.NodeID(src), node, reqs)
-				e.counters.Accesses += touch.Weight
-				if int(node) == src {
-					e.counters.LocalDRAM += reqs
-				} else {
-					e.counters.RemoteDRAM += reqs
-				}
-				e.counters.DataL2Misses += reqs
+			if e.cfg.PerPageAlloc {
+				e.allocSlicePerPage(t, budgets, allocCount, src, latRow)
+			} else {
+				e.allocSliceBatched(t, budgets, allocCount, src, latRow)
 			}
 			if !e.wl.AllocDone(t) && budgets[t] > 0 && allocCount[t] < e.cfg.MaxAllocPerEpoch {
 				next = append(next, t)
@@ -1414,6 +1456,166 @@ func (e *Engine) runAllocRounds(epoch int, budgets []float64) bool {
 	}
 	e.allocActive = active[:0]
 	return ran
+}
+
+// allocSlicePerPage runs one thread's allocation time slice touch by
+// touch through vm.Access — the reference path the batched slice must
+// reproduce byte for byte (Config.PerPageAlloc forces it everywhere).
+func (e *Engine) allocSlicePerPage(t int, budgets []float64, allocCount []int, src int, latRow []float64) {
+	var spent float64
+	for spent < e.cfg.AllocRoundCycles {
+		if budgets[t] <= 0 || allocCount[t] >= e.cfg.MaxAllocPerEpoch {
+			break
+		}
+		if !e.allocOneSlow(t, budgets, allocCount, &spent, src, latRow) {
+			break
+		}
+	}
+}
+
+// allocOneSlow performs exactly one first-touch through the full
+// vm.Access fault path (with its capacity and fragmentation fallbacks)
+// and charges it with the alloc phase's per-touch arithmetic. It is the
+// whole per-page reference path, and the batched slice's escape hatch
+// for the rare touch whose fault pre-checks fail — precisely the touches
+// whose outcome the fallback chain decides. Reports whether a touch was
+// consumed.
+func (e *Engine) allocOneSlow(t int, budgets []float64, allocCount []int, spent *float64, src int, latRow []float64) bool {
+	touch, ok := e.wl.NextAlloc(t)
+	if !ok {
+		return false
+	}
+	allocCount[t]++
+	res := touch.Region.VM.Access(e.core(t), t, touch.Off)
+	node := res.Node
+	// Initialization is a streaming write pass: one DRAM line
+	// fill per 8 accesses.
+	const dramFrac = 0.125
+	lat := latRow[node]
+	per := 4 + dramFrac*lat*(1-e.wl.Spec.MLPOverlap)
+	cost := res.FaultCycles + touch.Weight*per
+	budgets[t] -= cost
+	*spent += cost
+	reqs := touch.Weight * dramFrac
+	e.env.Phys.Record(node, reqs)
+	e.env.Fabric.Record(topo.NodeID(src), node, reqs)
+	e.counters.Accesses += touch.Weight
+	if int(node) == src {
+		e.counters.LocalDRAM += reqs
+	} else {
+		e.counters.RemoteDRAM += reqs
+	}
+	e.counters.DataL2Misses += reqs
+	return true
+}
+
+// allocSliceBatched runs one thread's allocation time slice span by span
+// (DESIGN.md §4.11): it classifies the maximal leading run of the
+// thread's pending first-touches that resolves to one (chunk, node,
+// size), prices the whole run with one latency lookup, replays the
+// per-touch budget arithmetic to find how many touches the slice
+// affords, and commits them through one vm.ApplyAlloc* operation — one
+// buddy transaction, one accounting pass. Every float accumulator
+// advances by the same per-touch addition sequence as the per-page path,
+// so the result is byte-identical (TestBatchedAllocMatchesPerPage); runs
+// whose fault pre-checks fail fall back to allocOneSlow, which replays
+// the fallback chain exactly.
+func (e *Engine) allocSliceBatched(t int, budgets []float64, allocCount []int, src int, latRow []float64) {
+	var spent float64
+	core := e.core(t)
+	rc := e.cfg.AllocRoundCycles
+	maxAlloc := e.cfg.MaxAllocPerEpoch
+	for spent < rc {
+		if budgets[t] <= 0 || allocCount[t] >= maxAlloc {
+			break
+		}
+		br, pages, ok := e.wl.PeekAllocRun(t)
+		if !ok {
+			break
+		}
+		run := br.VM.ClassifyAllocRun(core, pages)
+		var faultEach float64
+		switch run.Kind {
+		case vm.AllocRunFault4K:
+			// Cap the run at the node's free 4 KB frames: within that cap
+			// the buddy cannot fail (any free block splits down to 4 KB),
+			// beyond it the per-page fallback chain decides the outcome.
+			free := int(e.env.Phys.FreeBytes(run.Node) / uint64(mem.Size4K))
+			if free <= 0 {
+				e.allocOneSlow(t, budgets, allocCount, &spent, src, latRow)
+				continue
+			}
+			if run.N > free {
+				run.N = free
+			}
+			faultEach = e.env.Space.FaultCostFor(mem.Size4K)
+		case vm.AllocRunFault2M:
+			if !e.env.Phys.FreeContiguous(run.Node, mem.Size2M) {
+				e.allocOneSlow(t, budgets, allocCount, &spent, src, latRow)
+				continue
+			}
+			faultEach = e.env.Space.FaultCostFor(mem.Size2M)
+		}
+		// Initialization is a streaming write pass: one DRAM line
+		// fill per 8 accesses.
+		const dramFrac = 0.125
+		weight := workloads.TouchWeight(br)
+		lat := latRow[run.Node]
+		per := 4 + dramFrac*lat*(1-e.wl.Spec.MLPOverlap)
+		cost := faultEach + weight*per
+		reqs := weight * dramFrac
+		// Replay the per-touch budget arithmetic to find how many of the
+		// run's touches this slice affords. The first iteration's checks
+		// mirror the loop-top checks that already passed.
+		budget := budgets[t]
+		cnt := allocCount[t]
+		k := 0
+		for k < run.N {
+			if spent >= rc || budget <= 0 || cnt >= maxAlloc {
+				break
+			}
+			cnt++
+			budget -= cost
+			spent += cost
+			k++
+		}
+		switch run.Kind {
+		case vm.AllocRunHit:
+			br.VM.ApplyAllocHitRun(t, pages, k)
+		case vm.AllocRunFault4K:
+			br.VM.ApplyAllocFault4KRun(core, t, run.Node, pages, k, faultEach)
+		default: // vm.AllocRunFault2M, k == 1
+			br.VM.ApplyAllocFault2M(core, t, pages[0], run.Node, faultEach)
+		}
+		e.wl.AdvanceAlloc(t, k)
+		budgets[t] = budget
+		allocCount[t] = cnt
+		e.env.Phys.RecordN(run.Node, reqs, k)
+		e.env.Fabric.RecordN(topo.NodeID(src), run.Node, reqs, k)
+		acc := e.counters.Accesses
+		for i := 0; i < k; i++ {
+			acc += weight
+		}
+		e.counters.Accesses = acc
+		if int(run.Node) == src {
+			local := e.counters.LocalDRAM
+			for i := 0; i < k; i++ {
+				local += reqs
+			}
+			e.counters.LocalDRAM = local
+		} else {
+			remote := e.counters.RemoteDRAM
+			for i := 0; i < k; i++ {
+				remote += reqs
+			}
+			e.counters.RemoteDRAM = remote
+		}
+		dl2 := e.counters.DataL2Misses
+		for i := 0; i < k; i++ {
+			dl2 += reqs
+		}
+		e.counters.DataL2Misses = dl2
+	}
 }
 
 // churnCostPerAccess prices allocation churn in expectation: fresh pages

@@ -51,6 +51,16 @@ type THP struct {
 	cursorChunk  int
 
 	promoted uint64
+
+	// Dirty gate: after a full scan finds zero promotion candidates, the
+	// address-space fingerprint it ran against is recorded here, and
+	// PendingWork reports false until a mapping mutation moves the
+	// fingerprint. Candidate-ness (chunk state + mapped-sub count) only
+	// changes through vm operations that bump some Region.Gen, so an
+	// unchanged fingerprint proves a repeat scan would again promote
+	// nothing.
+	cleanFP   uint64
+	haveClean bool
 }
 
 // New attaches a THP subsystem to an address space and installs its
@@ -85,6 +95,34 @@ func (t *THP) PromoteEnabled() bool { return t.Cfg.PromoteEnabled }
 // Promoted returns the number of chunks promoted so far.
 func (t *THP) Promoted() uint64 { return t.promoted }
 
+// mappingFingerprint summarizes the address space's mapping state for
+// the dirty gate. Every mapping mutation (fault, promotion, demotion,
+// split, migration, unmap) bumps some region's Gen and region counts
+// only grow, so the sum is strictly monotone: an unchanged fingerprint
+// proves no mapping changed since it was taken.
+func (t *THP) mappingFingerprint() uint64 {
+	regions := t.Space.Regions()
+	fp := uint64(len(regions))
+	for _, r := range regions {
+		fp += r.Gen()
+	}
+	return fp
+}
+
+// PendingWork reports whether the next RunPromotionPass could do
+// anything at all. It is false while either switch is off (the pass
+// returns immediately) and after a clean full scan whose fingerprint
+// still matches (a repeat scan would provably find the same zero
+// candidates). Skipping the pass in either state is behaviorally
+// identical to running it: both cost zero cycles and mutate nothing
+// the scan logic can observe.
+func (t *THP) PendingWork() bool {
+	if !t.Cfg.PromoteEnabled || !t.Cfg.AllocEnabled {
+		return false
+	}
+	return !t.haveClean || t.cleanFP != t.mappingFingerprint()
+}
+
 // RunPromotionPass performs one khugepaged scan: it promotes up to
 // PromoteMaxPerPass sufficiently-mapped 4 KB chunks of THP-eligible
 // regions into 2 MB pages on their dominant node, returning the overhead
@@ -97,9 +135,11 @@ func (t *THP) RunPromotionPass() float64 {
 	if len(regions) == 0 {
 		return 0
 	}
+	fp := t.mappingFingerprint()
 	var cycles float64
 	promoted := 0
 	visited := 0
+	candidates := 0
 	totalChunks := 0
 	for _, r := range regions {
 		totalChunks += r.NumChunks()
@@ -124,6 +164,11 @@ func (t *THP) RunPromotionPass() float64 {
 		if info.State != vm.Mapped4K || info.MappedSubs < t.Cfg.PromoteMinSubs {
 			continue
 		}
+		// From here on the chunk is a promotion candidate: whether it
+		// actually promotes depends on access statistics and buddy
+		// availability, which mutate without a Gen bump, so a scan that
+		// saw any candidate must not be recorded as clean.
+		candidates++
 		node, ok := r.DominantSubNode(ci)
 		if !ok {
 			continue
@@ -134,6 +179,12 @@ func (t *THP) RunPromotionPass() float64 {
 			promoted++
 			t.promoted++
 		}
+	}
+	if visited == totalChunks && candidates == 0 {
+		// Full scan, nothing even eligible: the pass mutated nothing, so
+		// the at-entry fingerprint is still current and gates the next one.
+		t.cleanFP = fp
+		t.haveClean = true
 	}
 	return cycles
 }

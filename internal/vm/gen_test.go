@@ -92,6 +92,17 @@ func TestGenTracksEveryMutation(t *testing.T) {
 	}
 	g = expect("", "no-op MigratePT", false, g)
 
+	// Batched allocation commits (DESIGN.md §4.11): a k-touch fault run
+	// bumps the generation once per established mapping, and a hit run on
+	// the pages it just mapped bumps nothing.
+	batch := []uint32{4 * vm.SubsPerChunk, 4*vm.SubsPerChunk + 1, 4*vm.SubsPerChunk + 2}
+	r.ApplyAllocFault4KRun(0, 0, 0, batch, len(batch), 0)
+	g = expect("Region.ApplyAllocFault4KRun", "batched 4K fault run", true, g)
+	r.ApplyAllocFault2M(0, 0, 5*vm.SubsPerChunk, 0, 0)
+	g = expect("Region.ApplyAllocFault2M", "batched 2M fault", true, g)
+	r.ApplyAllocHitRun(0, batch, len(batch))
+	g = expect("", "batched hit run", false, g)
+
 	if freed := r.Unmap(0, 8<<20); freed == 0 {
 		t.Fatal("unmap freed nothing")
 	}

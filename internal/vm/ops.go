@@ -51,6 +51,14 @@ func mustFree(p *mem.System, n topo.NodeID, size mem.PageSize) {
 	}
 }
 
+// mustFreeRun is mustFree for a batch of count same-(node, size) frames
+// (mem.FreeRun replays the exact per-call Free sequence).
+func mustFreeRun(p *mem.System, n topo.NodeID, size mem.PageSize, count int) {
+	if err := p.FreeRun(n, size, count); err != nil {
+		panic(fmt.Sprintf("vm: %v", err))
+	}
+}
+
 // ChunkState is the exported view of a chunk's backing.
 type ChunkState uint8
 
@@ -225,6 +233,7 @@ func (r *Region) PromoteChunk(ci int, to topo.NodeID, minSubs int, costs OpCosts
 	c.state = state2M
 	c.node = to
 	c.subNode = nil
+	c.runsOK = false
 	c.mapped = 0
 	c.subAcc = nil
 	c.subMask = nil
@@ -418,18 +427,33 @@ func (r *Region) Unmap(lo, hi uint64) uint64 {
 			r.count2M--
 			released += uint64(mem.Size2M)
 		case state4K:
-			for sub := 0; sub < SubsPerChunk; sub++ {
+			// Free maximal same-node runs in one batched call each:
+			// mem.FreeRun replays the exact per-call sequence, and the
+			// tight loop lets the random-victim cache misses overlap.
+			for sub := 0; sub < SubsPerChunk; {
 				sa := base + uint64(sub)<<subShift
 				if sa < lo || sa+uint64(mem.Size4K) > hi || c.subNode[sub] == unmappedNode {
+					sub++
 					continue
 				}
-				mustFree(r.Space.Phys, topo.NodeID(c.subNode[sub]), mem.Size4K)
-				c.subNode[sub] = unmappedNode
-				c.subAcc[sub] = 0
-				c.subMask[sub] = 0
-				c.mapped--
-				r.count4K--
-				released += uint64(mem.Size4K)
+				node := c.subNode[sub]
+				run := sub + 1
+				for run < SubsPerChunk && c.subNode[run] == node &&
+					base+uint64(run+1)<<subShift <= hi {
+					run++
+				}
+				n := run - sub
+				mustFreeRun(r.Space.Phys, topo.NodeID(node), mem.Size4K, n)
+				for i := sub; i < run; i++ {
+					c.subNode[i] = unmappedNode
+					c.subAcc[i] = 0
+					c.subMask[i] = 0
+				}
+				c.runsOK = false
+				c.mapped -= int32(n)
+				r.count4K -= n
+				released += uint64(n) * uint64(mem.Size4K)
+				sub = run
 			}
 		case state1G:
 			head := c.giantHead
@@ -548,24 +572,30 @@ func (r *Region) Spans(lo, hi uint64, fn func(node topo.NodeID, spanLo, spanHi u
 		case state1G:
 			emit(r.chunks[c.giantHead].node, a, b)
 		case state4K:
-			for sub := int((a - base) >> subShift); sub < SubsPerChunk; sub++ {
-				sa := base + uint64(sub)<<subShift
-				if sa >= b {
-					break
-				}
-				sb := sa + uint64(mem.Size4K)
+			// Replay the cached coalesced runs instead of scanning all
+			// 512 slots. Clipping each run to [a, b) yields exactly the
+			// spans the per-sub scan would feed emit (adjacent same-node
+			// subs merge identically), and unmapped bytes fall out as the
+			// clipped remainder — both byte-exact.
+			if !c.runsOK {
+				c.buildSubRuns()
+			}
+			var mapped uint64
+			for _, run := range c.subRuns {
+				sa := base + uint64(run.lo)<<subShift
+				sb := base + uint64(run.hi)<<subShift
 				if sa < a {
 					sa = a
 				}
 				if sb > b {
 					sb = b
 				}
-				if n := c.subNode[sub]; n != unmappedNode {
-					emit(topo.NodeID(n), sa, sb)
-				} else {
-					unmappedBytes += sb - sa
+				if sa < sb {
+					emit(topo.NodeID(run.node), sa, sb)
+					mapped += sb - sa
 				}
 			}
+			unmappedBytes += (b - a) - mapped
 		default:
 			unmappedBytes += b - a
 		}

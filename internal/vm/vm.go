@@ -72,16 +72,51 @@ type chunk struct {
 	threadMask uint64
 	subAcc     []uint32
 	subMask    []uint64
+
+	// subRuns caches the maximal same-node mapped runs of a split chunk
+	// for Spans: the placement census re-walks every region whose Gen
+	// moved, but most chunks of that region did not change, and replaying
+	// a handful of coalesced runs is far cheaper than scanning 512 slots.
+	// Invalidated (runsOK cleared) by every subNode write — mapSub,
+	// Unmap's direct clear, and PromoteChunk's teardown. Replaying runs
+	// through Spans' emit coalescer produces the identical visit sequence
+	// the per-sub scan would, so census floats are byte-identical.
+	subRuns []subRun
+	runsOK  bool
+}
+
+// subRun is one maximal same-node mapped run of a split chunk:
+// 4 KB slots [lo, hi) all mapped on node.
+type subRun struct {
+	node   uint8
+	lo, hi uint16
+}
+
+// buildSubRuns recompresses subNode into the cached run list.
+func (c *chunk) buildSubRuns() {
+	c.subRuns = c.subRuns[:0]
+	for sub := 0; sub < SubsPerChunk; {
+		n := c.subNode[sub]
+		if n == unmappedNode {
+			sub++
+			continue
+		}
+		lo := sub
+		for sub++; sub < SubsPerChunk && c.subNode[sub] == n; sub++ {
+		}
+		c.subRuns = append(c.subRuns, subRun{node: n, lo: uint16(lo), hi: uint16(sub)})
+	}
+	c.runsOK = true
 }
 
 func (c *chunk) ensureSubs() {
 	if c.subNode == nil {
-		c.subNode = make([]uint8, SubsPerChunk)
+		c.subNode = make([]uint8, SubsPerChunk) //lpnuma:alloc-ok one-time per-chunk first-touch setup, amortized over the chunk's 512 pages
 		for i := range c.subNode {
 			c.subNode[i] = unmappedNode
 		}
-		c.subAcc = make([]uint32, SubsPerChunk)
-		c.subMask = make([]uint64, SubsPerChunk)
+		c.subAcc = make([]uint32, SubsPerChunk)  //lpnuma:alloc-ok one-time per-chunk first-touch setup, amortized over the chunk's 512 pages
+		c.subMask = make([]uint64, SubsPerChunk) //lpnuma:alloc-ok one-time per-chunk first-touch setup, amortized over the chunk's 512 pages
 	}
 }
 
@@ -97,6 +132,7 @@ func (c *chunk) mapSub(sub int, node topo.NodeID) {
 		c.mapped++
 	}
 	c.subNode[sub] = uint8(node)
+	c.runsOK = false
 }
 
 // Region is a contiguous virtual segment (an "allocation" from the

@@ -263,6 +263,45 @@ func (in *Instance) touch(br *BuiltRegion, p uint64) AllocTouch {
 	return AllocTouch{Region: br, Off: p * uint64(mem.Size4K), Weight: w}
 }
 
+// PeekAllocRun returns thread t's current region together with its
+// remaining ascending first-touch pages there, without consuming any of
+// them — the batched allocation path classifies a leading run of this
+// slice and then consumes exactly what it committed via AdvanceAlloc.
+// Like NextAlloc, it walks the cursor past SkipInit and exhausted
+// regions (that advance is idempotent, so peeking stays side-effect free
+// from the caller's point of view); ok=false means t's allocation work
+// is complete.
+func (in *Instance) PeekAllocRun(t int) (*BuiltRegion, []uint32, bool) {
+	for in.allocRegion[t] < len(in.Regions) {
+		br := in.Regions[in.allocRegion[t]]
+		if !br.Spec.SkipInit {
+			own := br.initPages[t]
+			if i := in.allocPage[t]; i < uint64(len(own)) {
+				return br, own[i:], true
+			}
+		}
+		in.allocRegion[t]++
+		in.allocPage[t] = 0
+	}
+	return nil, nil, false
+}
+
+// AdvanceAlloc consumes k first-touches previously returned by
+// PeekAllocRun (k must not exceed the returned slice's length).
+func (in *Instance) AdvanceAlloc(t, k int) {
+	in.allocPage[t] += uint64(k)
+}
+
+// TouchWeight returns the steady-equivalent access weight NextAlloc
+// would assign a first-touch of br.
+func TouchWeight(br *BuiltRegion) float64 {
+	w := br.Spec.InitTouchWeight
+	if w <= 0 {
+		w = 128
+	}
+	return w
+}
+
 // AllocDone reports whether thread t has finished its allocation work.
 func (in *Instance) AllocDone(t int) bool {
 	return in.allocRegion[t] >= len(in.Regions)

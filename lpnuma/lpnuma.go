@@ -118,6 +118,25 @@ func BenchAnalyticEpoch(machineName, workload, policyName string, cfg Config, re
 	return sim.BenchAnalyticEpoch(machine, spec, pol, cfg, reps)
 }
 
+// PhaseWall is the cumulative host wall time per epoch phase; see
+// sim.PhaseWall.
+type PhaseWall = sim.PhaseWall
+
+// SetPhaseTracking turns process-wide per-phase wall accumulation on or
+// off (`lpnuma bench` enables it for the phase breakdown it reports).
+func SetPhaseTracking(on bool) { sim.SetPhaseTracking(on) }
+
+// SetPhaseLabels turns pprof goroutine labels at epoch-phase boundaries
+// on or off (the -cpuprofile flag enables them, so profiles can be
+// sliced with -tagfocus lpnuma_phase=...).
+func SetPhaseLabels(on bool) { sim.SetPhaseLabels(on) }
+
+// ResetPhaseWall zeroes the per-phase wall totals.
+func ResetPhaseWall() { sim.ResetPhaseWall() }
+
+// PhaseWallSnapshot returns the accumulated per-phase wall seconds.
+func PhaseWallSnapshot() PhaseWall { return sim.PhaseWallSnapshot() }
+
 // ImprovementPct is the paper's performance metric: percent improvement
 // of x over baseline.
 func ImprovementPct(baseline, x Result) float64 { return runner.ImprovementPct(baseline, x) }

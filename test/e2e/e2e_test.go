@@ -402,7 +402,7 @@ func TestServebenchSmoke(t *testing.T) {
 	if err := json.Unmarshal(raw, &rep); err != nil {
 		t.Fatal(err)
 	}
-	if rep.SchemaVersion != 5 || rep.Suite != "serve" {
+	if rep.SchemaVersion != 6 || rep.Suite != "serve" {
 		t.Fatalf("report schema wrong: %+v", rep)
 	}
 	if rep.Errors != 0 {
